@@ -1,0 +1,58 @@
+// Command spear-bench regenerates the tables and figures of the SPEAr
+// paper's evaluation (§5) on the synthetic datasets.
+//
+// Usage:
+//
+//	spear-bench -experiment fig8d            # one experiment
+//	spear-bench -experiment all -scale 0.2   # the whole evaluation
+//
+// Scale 1.0 replays the paper's full stream lengths (4M/24M/56M tuples);
+// smaller scales shorten the streams proportionally, preserving window
+// sizes and rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spear/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"experiment id ("+strings.Join(bench.ExperimentIDs(), ", ")+") or 'all'")
+		scale = flag.Float64("scale", 0.2, "fraction of the paper's stream lengths")
+		seed  = flag.Int64("seed", 1, "random seed for datasets and sampling")
+	)
+	flag.Parse()
+
+	ids := bench.ExperimentIDs()
+	if *experiment != "all" {
+		if _, ok := bench.Experiments[*experiment]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n",
+				*experiment, strings.Join(ids, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*experiment}
+	}
+
+	opt := bench.Options{Scale: *scale, Seed: *seed, Out: os.Stdout}
+	fmt.Printf("spear-bench: scale=%.2f seed=%d experiments=%s\n",
+		*scale, *seed, strings.Join(ids, ","))
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := bench.Experiments[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Print(os.Stdout)
+		}
+		fmt.Printf("  [%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,163 @@
+// Command spear-demo runs one of the paper's continuous queries and
+// streams its window results to stdout, side by side with what the
+// exact engine would have produced — a quick way to see the
+// accelerate-or-fallback decisions and the realized errors live.
+//
+// Usage:
+//
+//	spear-demo -dataset dec -tuples 400000
+//	spear-demo -dataset debs -budget 2000
+//	spear-demo -dataset gcm -epsilon 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"spear"
+	"spear/internal/dataset"
+	"spear/internal/window"
+)
+
+func main() {
+	var (
+		dsName  = flag.String("dataset", "dec", "dec (median), gcm (grouped mean), or debs (grouped mean)")
+		tuples  = flag.Int("tuples", 400_000, "stream length")
+		budget  = flag.Int("budget", 0, "memory budget b in tuples (0 = the paper's setting)")
+		epsilon = flag.Float64("epsilon", 0.10, "relative error bound ε")
+		conf    = flag.Float64("confidence", 0.95, "confidence α")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	build := func(backend spear.Backend) (*spear.Query, *dataset.Stream) {
+		var ds *dataset.Stream
+		q := spear.NewQuery(*dsName).WithBackend(backend).Seed(*seed).Error(*epsilon, *conf)
+		switch *dsName {
+		case "dec":
+			ds = dataset.DEC(dataset.DECConfig{Tuples: *tuples, Seed: *seed})
+			b := *budget
+			if b == 0 {
+				b = 200
+			}
+			q.Source(spear.FromFunc(ds.Next)).
+				SlidingWindow(45*time.Second, 15*time.Second).
+				Median(ds.Value).
+				BudgetTuples(b)
+		case "gcm":
+			ds = dataset.GCM(dataset.GCMConfig{Tuples: *tuples, Seed: *seed})
+			b := *budget
+			if b == 0 {
+				b = 4000
+			}
+			q.Source(spear.FromFunc(ds.Next)).
+				SlidingWindow(time.Hour, 30*time.Minute).
+				GroupBy(ds.Key).
+				KnownGroups(dataset.SchedClasses).
+				Mean(ds.Value).
+				BudgetTuples(b)
+		case "debs":
+			ds = dataset.DEBS(dataset.DEBSConfig{Tuples: *tuples, Seed: *seed})
+			b := *budget
+			if b == 0 {
+				b = 2000
+			}
+			q.Source(spear.FromFunc(ds.Next)).
+				SlidingWindow(30*time.Minute, 15*time.Minute).
+				GroupBy(ds.Key).
+				Mean(ds.Value).
+				BudgetTuples(b)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
+			os.Exit(2)
+		}
+		return q, ds
+	}
+
+	// Exact reference first.
+	exact := map[window.ID]spear.Result{}
+	var mu sync.Mutex
+	qe, _ := build(spear.BackendExact)
+	exactSum, err := qe.Run(func(worker int, r spear.Result) {
+		mu.Lock()
+		exact[r.WindowID] = r
+		mu.Unlock()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Then SPEAr, printing the comparison per window.
+	type line struct {
+		r   spear.Result
+		err float64
+	}
+	var lines []line
+	qs, _ := build(spear.BackendSPEAr)
+	spearSum, err := qs.Run(func(worker int, r spear.Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		e, ok := exact[r.WindowID]
+		if !ok {
+			return
+		}
+		lines = append(lines, line{r, resultDelta(r, e)})
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].r.Start < lines[j].r.Start })
+	fmt.Printf("%-22s %-12s %10s %10s %9s\n", "window", "mode", "sample", "N", "err%")
+	for _, l := range lines {
+		fmt.Printf("[%s, %s)  %-12s %10d %10d %8.2f%%\n",
+			time.Unix(0, l.r.Start).Format("15:04:05"),
+			time.Unix(0, l.r.End).Format("15:04:05"),
+			l.r.Mode, l.r.SampleN, l.r.N, 100*l.err)
+	}
+	fmt.Printf("\nexact: mean proc %v | SPEAr: mean proc %v (%.1fx), %d/%d accelerated\n",
+		exactSum.MeanProcTime, spearSum.MeanProcTime,
+		float64(exactSum.MeanProcTime)/float64(spearSum.MeanProcTime),
+		spearSum.Accelerated, spearSum.Windows)
+}
+
+// resultDelta is the realized relative error of one window (L1 across
+// groups for grouped results).
+func resultDelta(approx, exact spear.Result) float64 {
+	if exact.Groups == nil {
+		if exact.Scalar == 0 {
+			return 0
+		}
+		d := (approx.Scalar - exact.Scalar) / exact.Scalar
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if len(exact.Groups) == 0 {
+		return 0
+	}
+	var sum float64
+	for g, ev := range exact.Groups {
+		av, ok := approx.Groups[g]
+		if !ok {
+			sum++
+			continue
+		}
+		if ev == 0 {
+			continue
+		}
+		d := (av - ev) / ev
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(exact.Groups))
+}

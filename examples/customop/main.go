@@ -1,0 +1,73 @@
+// Customop demonstrates the paper's API for user-defined approximate
+// stateful operations (§4): the user supplies the aggregate itself and
+// an accuracy-estimation function, and SPEAr runs it through the same
+// accelerate-or-fallback workflow as the built-in operations.
+//
+// The operation here is a 5%-trimmed mean of order latencies — a robust
+// location estimate that ignores timeout spikes — with a conservative
+// CI-based estimator. Budgets adapt online (the AdaptiveBudget
+// extension), so the program never needs the offline budget analysis
+// the paper performed by hand.
+//
+// Run it with:
+//
+//	go run ./examples/customop
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spear"
+	"spear/internal/agg"
+	"spear/internal/core"
+)
+
+func main() {
+	// Synthetic latency stream: lognormal body plus rare timeout
+	// spikes two orders of magnitude out.
+	rng := rand.New(rand.NewSource(2026))
+	var in []spear.Tuple
+	base := time.Date(2026, 7, 4, 9, 0, 0, 0, time.UTC).UnixNano()
+	for i := 0; i < 600_000; i++ {
+		ts := base + int64(i)*int64(200*time.Microsecond)
+		lat := 12 * (1 + 0.3*rng.NormFloat64())
+		if lat < 1 {
+			lat = 1
+		}
+		if rng.Float64() < 0.002 {
+			lat = 5000 // timeout
+		}
+		in = append(in, spear.NewTuple(ts, spear.Float(lat)))
+	}
+
+	// The accuracy-estimation function mirrors the aggregate: it trims
+	// the sample the same way the trimmed mean does and builds a
+	// confidence interval over the surviving values, so timeout spikes
+	// do not scare the estimator away from accelerating. A custom
+	// operation without a sound estimator should return ok=false to
+	// force exact processing.
+	estimator := core.TrimmedMeanEstimator(0.05)
+
+	summary, err := spear.NewQuery("latency-trimmed-mean").
+		Source(spear.FromSlice(in)).
+		SlidingWindow(10*time.Second, 5*time.Second).
+		CustomAgg(agg.TrimmedMean(0.05),
+			func(t spear.Tuple) float64 { return t.Vals[0].AsFloat() },
+					estimator).
+		BudgetTuples(64). // deliberately too small: watch it adapt
+		AdaptiveBudget(64, 8192).
+		Error(0.05, 0.95).
+		Run(func(worker int, r spear.Result) {
+			fmt.Printf("[%s, %s)  trimmed-mean=%6.2fms  %-8s  sample=%5d/%d\n",
+				time.Unix(0, r.Start).Format("15:04:05"),
+				time.Unix(0, r.End).Format("15:04:05"),
+				r.Scalar, r.Mode, r.SampleN, r.N)
+		})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%d windows, %d accelerated; mean proc %v\n",
+		summary.Windows, summary.Accelerated, summary.MeanProcTime)
+}

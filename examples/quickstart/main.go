@@ -1,0 +1,61 @@
+// Quickstart: the smallest complete SPEAr program.
+//
+// It builds a stream of synthetic sensor readings, asks for the
+// per-window 95th percentile with a 10% error bound at 95% confidence,
+// and prints each window result together with how it was produced
+// (sampled vs exact) and the engine's acceleration statistics.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spear"
+)
+
+func main() {
+	// 1. Generate a synthetic input stream: one reading per
+	// millisecond for two minutes, values drifting over time.
+	rng := rand.New(rand.NewSource(42))
+	var tuples []spear.Tuple
+	start := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC).UnixNano()
+	for i := 0; i < 120_000; i++ {
+		ts := start + int64(i)*int64(time.Millisecond)
+		base := 100 + 20*float64(i)/120_000 // slow upward drift
+		v := base + rng.NormFloat64()*15
+		tuples = append(tuples, spear.NewTuple(ts, spear.Float(v)))
+	}
+
+	// 2. Define the continuous query: p95 over 10s sliding windows
+	// advancing every 5s, answered from at most 2,000 buffered values
+	// per window, within 10% at 95% confidence.
+	q := spear.NewQuery("sensor-p95").
+		Source(spear.FromSlice(tuples)).
+		SlidingWindow(10*time.Second, 5*time.Second).
+		Percentile(func(t spear.Tuple) float64 { return t.Vals[0].AsFloat() }, 0.95).
+		BudgetTuples(2000).
+		Error(0.10, 0.95)
+
+	// 3. Run it. The sink receives every window result in order.
+	summary, err := q.Run(func(worker int, r spear.Result) {
+		fmt.Printf("window [%s, %s)  p95=%7.2f  mode=%-11s  sample=%d/%d tuples\n",
+			time.Unix(0, r.Start).Format("15:04:05"),
+			time.Unix(0, r.End).Format("15:04:05"),
+			r.Scalar, r.Mode, r.SampleN, r.N)
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 4. Inspect the run: how many windows were accelerated, and what
+	// the window processing times looked like.
+	fmt.Printf("\n%d windows, %d accelerated (%.0f%%), mean proc %v, p95 proc %v\n",
+		summary.Windows, summary.Accelerated,
+		100*float64(summary.Accelerated)/float64(summary.Windows),
+		summary.MeanProcTime, summary.P95ProcTime)
+}

@@ -1,0 +1,327 @@
+package spear
+
+import (
+	"math"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"spear/internal/core"
+	"spear/internal/spe"
+	"spear/internal/storage"
+)
+
+// TestFileStoreFallbackEndToEnd drives the full exact-fallback path
+// through a disk-backed secondary storage: tuples are archived to
+// files, the accuracy check fails, and the window is read back and
+// processed exactly.
+func TestFileStoreFallbackEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := storage.NewFileStore(filepath.Join(dir, "spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []Tuple
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := float64(i%97) * math.Pow(10, float64(i%5)) // wild variance
+		sum += v
+		in = append(in, NewTuple(int64(i%1000), Float(v)))
+	}
+	sink := &sinkBuf{}
+	_, err = NewQuery("disk").
+		Source(FromSlice(in)).
+		TumblingWindow(1000 * time.Nanosecond).
+		Mean(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+		DisableIncremental().
+		BudgetTuples(20).
+		SpillStore(fs).
+		Run(sink.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sink.res[0]
+	if r.Mode != core.ModeExact || !r.FetchedFromStore {
+		t.Fatalf("expected disk fallback, got %+v", r)
+	}
+	exact := sum / n
+	if math.Abs(r.Scalar-exact) > 1e-9*exact {
+		t.Errorf("disk-recovered mean %v vs %v", r.Scalar, exact)
+	}
+	if fs.Stats().Gets == 0 || fs.Stats().BytesFetched == 0 {
+		t.Error("file store never read")
+	}
+}
+
+// TestOutOfOrderAccuracy checks that disorder within the watermark lag
+// neither loses tuples nor breaks the accuracy guarantee.
+func TestOutOfOrderAccuracy(t *testing.T) {
+	mk := func() []Tuple {
+		var in []Tuple
+		state := int64(7)
+		for i := 0; i < 60000; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := 500 + float64(state%1000)/2
+			in = append(in, NewTuple(int64(i), Float(v)))
+		}
+		return in
+	}
+	run := func(src Source, backend Backend) map[int64]Result {
+		out := map[int64]Result{}
+		sink := func(_ int, r Result) { out[r.Start] = r }
+		q := NewQuery("ooo").
+			Source(src).
+			TumblingWindow(10000*time.Nanosecond).
+			Mean(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+			DisableIncremental().
+			BudgetTuples(2000).
+			WatermarkEvery(10000*time.Nanosecond, 200*time.Nanosecond).
+			WithBackend(backend)
+		if _, err := q.Run(sink); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	exact := run(FromSlice(mk()), BackendExact)
+	disordered := run(spe.NewDisorderSpout(FromSlice(mk()), 100, 3), BackendSPEAr)
+	if len(disordered) == 0 {
+		t.Fatal("no windows")
+	}
+	for start, r := range disordered {
+		e, ok := exact[start]
+		if !ok {
+			continue
+		}
+		if r.N != e.N {
+			t.Errorf("window %d: N=%d vs exact %d (tuples lost under disorder)", start, r.N, e.N)
+		}
+		if rel := math.Abs(r.Scalar-e.Scalar) / e.Scalar; rel > 0.10 {
+			t.Errorf("window %d: error %.3f", start, rel)
+		}
+	}
+}
+
+// TestMergedSourcesGrouped merges two streams into a grouped CQ.
+func TestMergedSourcesGrouped(t *testing.T) {
+	var a, b []Tuple
+	for i := int64(0); i < 3000; i++ {
+		a = append(a, NewTuple(i*2, Str("left"), Float(10)))
+		b = append(b, NewTuple(i*2+1, Str("right"), Float(20)))
+	}
+	sink := &sinkBuf{}
+	_, err := NewQuery("merged").
+		Source(Merge(FromSlice(a), FromSlice(b))).
+		TumblingWindow(2000 * time.Nanosecond).
+		GroupBy(func(t Tuple) string { return t.Vals[0].AsString() }).
+		Mean(func(t Tuple) float64 { return t.Vals[1].AsFloat() }).
+		BudgetTuples(2000).
+		Run(sink.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.res) == 0 {
+		t.Fatal("no windows")
+	}
+	for _, r := range sink.res {
+		if r.Groups["left"] != 10 || r.Groups["right"] != 20 {
+			t.Errorf("groups = %v", r.Groups)
+		}
+	}
+}
+
+// TestEveryAggregateEndToEnd drives each built-in aggregate through the
+// whole engine and checks it against a directly computed reference.
+func TestEveryAggregateEndToEnd(t *testing.T) {
+	var in []Tuple
+	vals := make([]float64, 0, 5000)
+	state := int64(99)
+	for i := 0; i < 5000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		v := float64((state%1000)+1000) / 100 // 0.01 .. 20-ish, positive
+		if v < 0 {
+			v = -v
+		}
+		vals = append(vals, v)
+		in = append(in, NewTuple(int64(i), Float(v)))
+	}
+	var mean, m2 float64
+	min, max := vals[0], vals[0]
+	for i, v := range vals {
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	variance := m2 / float64(len(vals)-1)
+
+	cases := []struct {
+		name  string
+		build func(*Query) *Query
+		want  float64
+		tol   float64
+	}{
+		{"count", func(q *Query) *Query { return q.Count() }, 5000, 0},
+		{"sum", func(q *Query) *Query {
+			return q.Sum(func(t Tuple) float64 { return t.Vals[0].AsFloat() })
+		}, mean * 5000, 1e-9},
+		{"mean", func(q *Query) *Query {
+			return q.Mean(func(t Tuple) float64 { return t.Vals[0].AsFloat() })
+		}, mean, 1e-9},
+		{"min", func(q *Query) *Query {
+			return q.Min(func(t Tuple) float64 { return t.Vals[0].AsFloat() })
+		}, min, 0},
+		{"max", func(q *Query) *Query {
+			return q.Max(func(t Tuple) float64 { return t.Vals[0].AsFloat() })
+		}, max, 0},
+		{"variance", func(q *Query) *Query {
+			return q.Variance(func(t Tuple) float64 { return t.Vals[0].AsFloat() })
+		}, variance, 1e-9},
+		{"stddev", func(q *Query) *Query {
+			return q.StdDev(func(t Tuple) float64 { return t.Vals[0].AsFloat() })
+		}, math.Sqrt(variance), 1e-9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &sinkBuf{}
+			q := NewQuery(tc.name).
+				Source(FromSlice(in)).
+				TumblingWindow(5000 * time.Nanosecond).
+				BudgetTuples(100)
+			if _, err := tc.build(q).Run(sink.add); err != nil {
+				t.Fatal(err)
+			}
+			if len(sink.res) != 1 {
+				t.Fatalf("%d windows", len(sink.res))
+			}
+			r := sink.res[0]
+			// All non-holistic: incremental path → exact results.
+			if r.Mode != core.ModeIncremental {
+				t.Errorf("Mode = %v", r.Mode)
+			}
+			if math.Abs(r.Scalar-tc.want) > tc.tol*math.Max(1, math.Abs(tc.want)) {
+				t.Errorf("%s = %v, want %v", tc.name, r.Scalar, tc.want)
+			}
+		})
+	}
+}
+
+// TestSeedDeterminism: identical queries with identical seeds produce
+// identical results, tuple for tuple.
+func TestSeedDeterminism(t *testing.T) {
+	mk := func() []Tuple {
+		var in []Tuple
+		state := int64(5)
+		for i := 0; i < 30000; i++ {
+			state = state*2862933555777941757 + 3037000493
+			in = append(in, NewTuple(int64(i%1000), Float(float64(state%10000))))
+		}
+		return in
+	}
+	run := func() []Result {
+		sink := &sinkBuf{}
+		_, err := NewQuery("det").
+			Source(FromSlice(mk())).
+			TumblingWindow(1000 * time.Nanosecond).
+			Median(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+			BudgetTuples(300).
+			Seed(42).
+			Run(sink.add)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sink.sorted()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Scalar != b[i].Scalar || a[i].Mode != b[i].Mode || a[i].EstError != b[i].EstError {
+			t.Errorf("window %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLateDroppedSurfacesInSummary checks late-tuple accounting reaches
+// the run summary.
+func TestLateDroppedSurfacesInSummary(t *testing.T) {
+	in := []Tuple{
+		NewTuple(int64(50*time.Second), Float(1)),
+		NewTuple(int64(200*time.Second), Float(1)), // advances watermark far
+		NewTuple(int64(10*time.Second), Float(99)), // hopelessly late
+		NewTuple(int64(201*time.Second), Float(1)),
+	}
+	sum, err := NewQuery("late").
+		Source(FromSlice(in)).
+		TumblingWindow(30*time.Second).
+		Mean(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+		WatermarkEvery(30*time.Second, 0).
+		Run(func(int, Result) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.LateDropped != 1 {
+		t.Errorf("LateDropped = %d, want 1", sum.LateDropped)
+	}
+}
+
+// TestHugeParallelismSmallStream: more workers than tuples must not
+// deadlock or lose data.
+func TestHugeParallelismSmallStream(t *testing.T) {
+	in := []Tuple{NewTuple(1, Float(5)), NewTuple(2, Float(7))}
+	sink := &sinkBuf{}
+	_, err := NewQuery("wide").
+		Source(FromSlice(in)).
+		TumblingWindow(10 * time.Nanosecond).
+		Sum(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+		Parallelism(16).
+		Run(sink.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, r := range sink.res {
+		total += r.Scalar
+	}
+	if total != 12 {
+		t.Errorf("total = %v, want 12", total)
+	}
+}
+
+// TestFromCSVEndToEnd runs a query over a CSV source.
+func TestFromCSVEndToEnd(t *testing.T) {
+	csv := "ts,v\n"
+	for i := 0; i < 1000; i++ {
+		csv += itoa(int64(i)) + "," + itoa(int64(i%10)) + "\n"
+	}
+	schema := NewSchema(Field{Name: "v", Kind: KindFloat})
+	src, csvErr, err := FromCSV(strings.NewReader(csv), "csv", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &sinkBuf{}
+	_, err = NewQuery("csv").
+		Source(src).
+		TumblingWindow(1000 * time.Nanosecond).
+		Mean(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+		Run(sink.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := csvErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.res) != 1 || math.Abs(sink.res[0].Scalar-4.5) > 1e-9 {
+		t.Errorf("results = %+v", sink.res)
+	}
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spear/internal/storage"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// archive streams every arriving tuple to secondary storage S, honoring
+// the model's invariant that "in any case, τ is stored in S as is common
+// practice" (§3.1). Tuples are bucketed into panes — tumbling intervals
+// of one window slide — so each tuple is written once even under sliding
+// windows (the single-buffer spirit), and a window fetch reads exactly
+// Range/Slide panes.
+//
+// Writes are batched in small chunks; the chunk buffer is transient
+// working memory, not window state, and is bounded by the chunk size.
+type archive struct {
+	store storage.SpillStore
+	key   string
+	spec  window.Spec
+	chunk int
+
+	pending map[int64][]tuple.Tuple // pane index → buffered tuples
+	minPane int64                   // smallest pane that may still exist
+	haveMin bool
+}
+
+func newArchive(store storage.SpillStore, key string, spec window.Spec, chunk int) *archive {
+	return &archive{
+		store:   store,
+		key:     key,
+		spec:    spec,
+		chunk:   chunk,
+		pending: make(map[int64][]tuple.Tuple),
+	}
+}
+
+func (a *archive) paneOf(pos int64) int64 {
+	p := pos / a.spec.Slide
+	if pos%a.spec.Slide != 0 && pos < 0 {
+		p--
+	}
+	return p
+}
+
+func (a *archive) paneKey(p int64) string {
+	return fmt.Sprintf("%s/p%d", a.key, p)
+}
+
+// add buffers one tuple and flushes its pane's chunk when full.
+func (a *archive) add(t tuple.Tuple) error {
+	p := a.paneOf(t.Ts)
+	if !a.haveMin || p < a.minPane {
+		a.minPane = p
+		a.haveMin = true
+	}
+	a.pending[p] = append(a.pending[p], t)
+	if len(a.pending[p]) >= a.chunk {
+		return a.flushPane(p)
+	}
+	return nil
+}
+
+func (a *archive) flushPane(p int64) error {
+	ts := a.pending[p]
+	if len(ts) == 0 {
+		return nil
+	}
+	if err := a.store.Store(a.paneKey(p), ts); err != nil {
+		return fmt.Errorf("core: archive pane %d: %w", p, err)
+	}
+	delete(a.pending, p)
+	return nil
+}
+
+// fetch returns every archived tuple with position in [start, end),
+// flushing pending chunks of the covered panes first.
+func (a *archive) fetch(start, end int64) ([]tuple.Tuple, error) {
+	pLo := a.paneOf(start)
+	pHi := a.paneOf(end - 1)
+	var out []tuple.Tuple
+	for p := pLo; p <= pHi; p++ {
+		if err := a.flushPane(p); err != nil {
+			return nil, err
+		}
+		ts, err := a.store.Get(a.paneKey(p))
+		if err != nil {
+			if isNotFound(err) {
+				continue // pane received no tuples
+			}
+			return nil, err
+		}
+		for _, t := range ts {
+			if t.Ts >= start && t.Ts < end {
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// evictBefore deletes panes wholly before position pos.
+func (a *archive) evictBefore(pos int64) error {
+	if !a.haveMin {
+		return nil
+	}
+	limit := a.paneOf(pos) // panes < limit end at or before pos
+	for p := a.minPane; p < limit; p++ {
+		delete(a.pending, p)
+		if err := a.store.Delete(a.paneKey(p)); err != nil {
+			return err
+		}
+	}
+	if limit > a.minPane {
+		a.minPane = limit
+	}
+	return nil
+}
+
+// memUsage returns the transient chunk-buffer bytes.
+func (a *archive) memUsage() int {
+	n := 0
+	for _, ts := range a.pending {
+		for _, t := range ts {
+			n += t.MemSize()
+		}
+	}
+	return n
+}
+
+func isNotFound(err error) bool {
+	return errors.Is(err, storage.ErrNotFound)
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spear/internal/agg"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// ExactManager is the conventional-SPE baseline ("Storm" in the
+// figures): the single-buffer design with full exact processing of every
+// window. It shares the Result accounting with the SPEAr managers so
+// comparisons use identical instrumentation.
+type ExactManager struct {
+	cfg Config
+	buf *window.SingleBuffer
+	now func() time.Time
+}
+
+// NewExactManager returns the exact baseline for cfg. Epsilon,
+// Confidence, and BudgetTuples are accepted (the shared Config carries
+// them) but ignored; BudgetBytesLimit in ExactConfig bounds the buffer.
+func NewExactManager(cfg Config, bufferBudgetBytes int) (*ExactManager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	wcfg := window.Config{Spec: cfg.Spec, Key: cfg.Key}
+	if bufferBudgetBytes > 0 {
+		wcfg.BudgetBytes = bufferBudgetBytes
+		wcfg.Store = cfg.Store
+	}
+	buf, err := window.NewSingleBuffer(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ExactManager{cfg: cfg, buf: buf, now: time.Now}, nil
+}
+
+// OnTuple implements Manager.
+func (m *ExactManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	completes, err := m.buf.OnTuple(t)
+	if err != nil {
+		return nil, err
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Inc()
+		m.cfg.Metrics.MemBytes.Set(int64(m.buf.MemUsage()))
+	}
+	return m.produceAll(completes, 0), nil
+}
+
+// OnWatermark implements Manager.
+func (m *ExactManager) OnWatermark(wm int64) ([]Result, error) {
+	t0 := m.now()
+	completes, err := m.buf.OnWatermark(wm)
+	if err != nil {
+		return nil, err
+	}
+	if len(completes) == 0 {
+		return nil, nil
+	}
+	scanShare := m.now().Sub(t0) / time.Duration(len(completes))
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.MemBytes.Set(int64(m.buf.MemUsage()))
+	}
+	return m.produceAll(completes, scanShare), nil
+}
+
+func (m *ExactManager) produceAll(completes []window.Complete, scanShare time.Duration) []Result {
+	if len(completes) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, len(completes))
+	for _, c := range completes {
+		t0 := m.now()
+		res := Result{
+			WindowID: c.ID, Start: c.Start, End: c.End,
+			N: int64(len(c.Tuples)), SampleN: len(c.Tuples),
+			Mode:             ModeExact,
+			FetchedFromStore: c.FetchedFromStore,
+		}
+		if m.cfg.KeyBy != nil {
+			keys := make([]string, len(c.Tuples))
+			vals := make([]float64, len(c.Tuples))
+			for i, t := range c.Tuples {
+				keys[i] = m.cfg.KeyBy(t)
+				vals[i] = m.cfg.Value(t)
+			}
+			res.Groups = agg.ComputeGrouped(keys, vals, m.cfg.Agg)
+		} else {
+			vals := make([]float64, len(c.Tuples))
+			for i, t := range c.Tuples {
+				vals[i] = m.cfg.Value(t)
+			}
+			res.Scalar = m.cfg.Agg.Compute(vals)
+		}
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.ProcTime.ObserveDuration(m.now().Sub(t0) + scanShare)
+			m.cfg.Metrics.WindowsTotal.Inc()
+			m.cfg.Metrics.WindowsExact.Inc()
+			m.cfg.Metrics.TuplesProcessedFull.Add(int64(len(c.Tuples)))
+			if res.FetchedFromStore {
+				m.cfg.Metrics.WindowsSpilled.Inc()
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// MemUsage implements Manager.
+func (m *ExactManager) MemUsage() int { return m.buf.MemUsage() }
+
+// IncrementalManager is the Inc-Storm baseline of Fig. 8a: the engine
+// modified to maintain a non-holistic scalar aggregate incrementally at
+// tuple arrival, producing each window result with O(1) work at
+// watermark arrival ("this is the optimal way for a mean"). It rejects
+// holistic and grouped operations, exactly the limitation the paper
+// ascribes to incremental techniques (fails R4).
+type IncrementalManager struct {
+	cfg Config
+
+	wins     map[window.ID]*agg.Incremental
+	started  bool
+	nextFire window.ID
+	seq      int64
+	maxPos   int64
+	late     int64
+	now      func() time.Time
+}
+
+// NewIncrementalManager returns the incremental baseline for cfg.
+func NewIncrementalManager(cfg Config) (*IncrementalManager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.KeyBy != nil {
+		return nil, fmt.Errorf("core: incremental baseline does not support grouped operations")
+	}
+	if cfg.Agg.Holistic() {
+		return nil, fmt.Errorf("core: %s cannot be processed incrementally", cfg.Agg)
+	}
+	return &IncrementalManager{cfg: cfg, wins: make(map[window.ID]*agg.Incremental), now: time.Now}, nil
+}
+
+// OnTuple implements Manager.
+func (m *IncrementalManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	pos := t.Ts
+	if m.cfg.Spec.Domain == window.CountDomain {
+		pos = m.seq
+	}
+	m.seq++
+	if pos > m.maxPos || m.seq == 1 {
+		m.maxPos = pos
+	}
+	lo, hi := m.cfg.Spec.Assign(pos)
+	if !m.started {
+		m.started = true
+		m.nextFire = lo
+	}
+	if hi < m.nextFire {
+		m.late++
+		return nil, nil
+	}
+	if lo < m.nextFire {
+		lo = m.nextFire
+	}
+	v := m.cfg.Value(t)
+	for id := lo; id <= hi; id++ {
+		inc, ok := m.wins[id]
+		if !ok {
+			inc, _ = agg.NewIncremental(m.cfg.Agg)
+			m.wins[id] = inc
+		}
+		inc.Add(v)
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Inc()
+		m.cfg.Metrics.MemBytes.Set(int64(m.MemUsage()))
+	}
+	if m.cfg.Spec.Domain == window.CountDomain {
+		return m.fire(m.seq), nil
+	}
+	return nil, nil
+}
+
+// OnWatermark implements Manager.
+func (m *IncrementalManager) OnWatermark(wm int64) ([]Result, error) {
+	if m.cfg.Spec.Domain == window.CountDomain {
+		return nil, nil
+	}
+	return m.fire(wm), nil
+}
+
+func (m *IncrementalManager) fire(wm int64) []Result {
+	if !m.started {
+		return nil
+	}
+	last := m.cfg.Spec.FirstCompleteBy(wm)
+	if _, hiData := m.cfg.Spec.Assign(m.maxPos); last > hiData {
+		last = hiData
+	}
+	if last < m.nextFire {
+		return nil
+	}
+	var out []Result
+	for id := m.nextFire; id <= last; id++ {
+		inc, ok := m.wins[id]
+		if !ok {
+			continue
+		}
+		t0 := m.now()
+		start, end := m.cfg.Spec.Bounds(id)
+		res := Result{
+			WindowID: id, Start: start, End: end,
+			N: inc.Count(), SampleN: int(inc.Count()),
+			Mode:   ModeIncremental,
+			Scalar: inc.Result(),
+		}
+		delete(m.wins, id)
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.ProcTime.ObserveDuration(m.now().Sub(t0))
+			m.cfg.Metrics.WindowsTotal.Inc()
+			m.cfg.Metrics.WindowsAccelerated.Inc()
+		}
+		out = append(out, res)
+	}
+	m.nextFire = last + 1
+	return out
+}
+
+// MemUsage implements Manager: one accumulator per active window.
+func (m *IncrementalManager) MemUsage() int { return len(m.wins) * 56 }
+
+var (
+	_ Manager = (*ExactManager)(nil)
+	_ Manager = (*IncrementalManager)(nil)
+)

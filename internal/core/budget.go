@@ -1,0 +1,79 @@
+package core
+
+// BudgetPolicy adapts the per-window memory budget b online, between
+// windows — the capability the paper defers to future versions ("Future
+// versions of SPEAr will be able to accommodate dynamic methods for
+// online budget estimation", §4). After every produced window the
+// manager asks the policy for the budget to give the next window.
+//
+// Policies see only the window outcome (mode and estimated error), so
+// they cannot peek at data the budget did not already pay for.
+type BudgetPolicy interface {
+	// Next returns the budget for subsequently created windows, given
+	// the budget in force and the just-produced result. Returns must
+	// be positive; the manager clamps nonsensical values to 1.
+	Next(current int, last Result) int
+}
+
+// AIMDBudget is a simple additive-increase/multiplicative-decrease-
+// style controller: an estimation failure (the window fell back to
+// exact processing) multiplies the budget by Grow; an accelerated
+// window whose estimated error sits comfortably below the target ε
+// shrinks it by Shrink. The budget stays within [Min, Max].
+//
+// The controller converges to the smallest budget that keeps windows
+// accelerating on the current data, so operators do not have to run the
+// paper's offline analysis ("we analyzed their data characteristics
+// offline, and then hard-code those values") to pick b.
+type AIMDBudget struct {
+	// Min and Max bound the budget. Min must be ≥ 1 and ≤ Max.
+	Min, Max int
+	// Grow multiplies the budget after a fallback; values ≤ 1 are
+	// treated as the default 2.0.
+	Grow float64
+	// Shrink multiplies the budget after a comfortable acceleration;
+	// values outside (0, 1) are treated as the default 0.95.
+	Shrink float64
+	// Slack is the fraction of ε under which an accelerated window
+	// counts as comfortable (default 0.5: ε̂ < ε/2 allows shrinking).
+	Slack float64
+	// Epsilon is the target error the manager runs with; the manager
+	// fills it in if zero.
+	Epsilon float64
+}
+
+// Next implements BudgetPolicy.
+func (p *AIMDBudget) Next(current int, last Result) int {
+	grow := p.Grow
+	if grow <= 1 {
+		grow = 2.0
+	}
+	shrink := p.Shrink
+	if !(shrink > 0 && shrink < 1) {
+		shrink = 0.95
+	}
+	slack := p.Slack
+	if !(slack > 0 && slack < 1) {
+		slack = 0.5
+	}
+	next := current
+	switch {
+	case last.Mode == ModeExact:
+		// The budget was insufficient: grow aggressively so the next
+		// windows stop paying the full-processing penalty.
+		next = int(float64(current)*grow) + 1
+	case last.Mode == ModeSampled && p.Epsilon > 0 && last.EstError < p.Epsilon*slack:
+		// Plenty of headroom: reclaim memory slowly.
+		next = int(float64(current) * shrink)
+	}
+	if p.Min > 0 && next < p.Min {
+		next = p.Min
+	}
+	if p.Max > 0 && next > p.Max {
+		next = p.Max
+	}
+	if next < 1 {
+		next = 1
+	}
+	return next
+}

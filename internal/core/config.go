@@ -1,0 +1,166 @@
+// Package core implements SPEAr itself: the approximate window managers
+// that realize the paper's processing model (Algorithms 1 and 2).
+//
+// At tuple arrival a manager accumulates, per active window and within
+// the user's budget b, an incremental simple random sample and/or
+// statistical metadata (count, variance; per-group frequency and
+// variance for grouped operations). At watermark arrival it estimates
+// the accuracy ε̂_w achievable from the budget contents; if ε̂_w ≤ ε it
+// emits the approximate result R̂_w at O(b) cost, otherwise it processes
+// the whole window exactly — fetching it from secondary storage S if it
+// was never buffered — at the same cost as a conventional SPE.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"spear/internal/agg"
+	"spear/internal/metrics"
+	"spear/internal/storage"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// Config describes one approximate stateful operation — the engine-side
+// form of the paper's Fig. 5 API (.budget(1MB).error(10%, 95%)).
+type Config struct {
+	// Spec is the window definition.
+	Spec window.Spec
+	// Agg is the stateful operation applied per window. Ignored when
+	// Custom is set.
+	Agg agg.Func
+	// Custom is a user-defined holistic scalar aggregate — the
+	// paper's custom approximate stateful operation API. It requires
+	// a ScalarEstimator (there is no generic accuracy bound for an
+	// arbitrary function) and is scalar-only: set KeyBy to nil.
+	Custom *agg.CustomFunc
+	// Value extracts the aggregated measure from a tuple.
+	Value tuple.Extractor
+	// KeyBy extracts the grouping key; nil makes the operation scalar.
+	KeyBy tuple.KeyExtractor
+
+	// Epsilon is the user's relative error bound ε: an accelerated
+	// result may not deviate from the exact one by more than ε, for a
+	// Confidence fraction of windows. For quantile aggregates ε is
+	// interpreted as the rank error, following Manku et al.
+	Epsilon float64
+	// Confidence is the paper's α (e.g. 0.95).
+	Confidence float64
+	// BudgetTuples is the memory budget b expressed in tuples — the
+	// reservoir capacity for scalar operations, the sample size for
+	// grouped ones. BudgetBytes converts from a byte budget.
+	BudgetTuples int
+
+	// KnownGroups, when positive, declares the number of distinct
+	// groups at CQ submission time; SPEAr then divides b equally and
+	// samples at tuple arrival, eliminating the watermark-time scan
+	// (§4.1: "when the number of groups is defined by the user at CQ
+	// submission ... SPEAr produces R̂_w at a minimal cost").
+	KnownGroups int
+
+	// Store is the secondary storage S every tuple is archived to
+	// (scalar operations) and exact fallbacks read from.
+	Store storage.SpillStore
+	// Key namespaces this worker's segments in Store.
+	Key string
+
+	// Seed makes sampling reproducible.
+	Seed int64
+
+	// DisableIncremental turns off the incremental fast path for
+	// non-holistic scalar operations, forcing them through the
+	// sample-and-estimate path. The paper does this in §5.5 to
+	// isolate the estimation mechanism ("SPEAr is configured to
+	// produce the mean result only at watermark arrival (i.e., no
+	// incremental optimization)").
+	DisableIncremental bool
+
+	// ScalarEstimator overrides the built-in accuracy estimation for
+	// scalar operations — the paper's custom-operation API ("a user
+	// has to define an accuracy-estimation function"). Nil selects
+	// the default for Agg's class.
+	ScalarEstimator ScalarEstimator
+	// GroupedEstimator likewise for grouped operations.
+	GroupedEstimator GroupedEstimator
+
+	// Metrics receives telemetry; nil records nothing.
+	Metrics *metrics.Worker
+
+	// ArchiveChunk is the number of tuples batched per write to
+	// Store; zero selects a default of 512.
+	ArchiveChunk int
+
+	// Budget, when non-nil, adapts the budget online between windows
+	// (the paper's future-work extension); BudgetTuples is then the
+	// starting value.
+	Budget BudgetPolicy
+}
+
+// errors returned by config validation.
+var (
+	errNoValue = errors.New("core: Value extractor is required")
+	errNoStore = errors.New("core: secondary storage Store is required")
+)
+
+func (c *Config) validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Custom != nil {
+		if err := c.Custom.Validate(); err != nil {
+			return err
+		}
+		if c.ScalarEstimator == nil {
+			return errors.New("core: custom operation requires a ScalarEstimator")
+		}
+		if c.KeyBy != nil {
+			return errors.New("core: custom operations are scalar-only")
+		}
+	} else if err := c.Agg.Validate(); err != nil {
+		return err
+	}
+	if c.Value == nil {
+		return errNoValue
+	}
+	if !(c.Epsilon > 0 && c.Epsilon < 1) {
+		return fmt.Errorf("core: epsilon %v outside (0, 1)", c.Epsilon)
+	}
+	if !(c.Confidence > 0 && c.Confidence < 1) {
+		return fmt.Errorf("core: confidence %v outside (0, 1)", c.Confidence)
+	}
+	if c.BudgetTuples <= 0 {
+		return fmt.Errorf("core: budget %d must be positive", c.BudgetTuples)
+	}
+	if c.Store == nil {
+		return errNoStore
+	}
+	if c.KnownGroups < 0 {
+		return fmt.Errorf("core: KnownGroups %d negative", c.KnownGroups)
+	}
+	if c.KnownGroups > 0 && c.KeyBy == nil {
+		return errors.New("core: KnownGroups set on a scalar operation")
+	}
+	if c.ArchiveChunk == 0 {
+		c.ArchiveChunk = 512
+	}
+	if c.ArchiveChunk < 0 {
+		return fmt.Errorf("core: ArchiveChunk %d negative", c.ArchiveChunk)
+	}
+	return nil
+}
+
+// BudgetBytes converts a byte budget into a tuple budget given the
+// per-value size f, reserving two slots for the window's variance and
+// size, exactly as the paper accounts it ("the reservoir sample of each
+// S_w carries up to ⌊10⁶·f⁻¹⌋ − 2 values").
+func BudgetBytes(budget int, bytesPerValue int) int {
+	if bytesPerValue <= 0 {
+		bytesPerValue = 8
+	}
+	n := budget/bytesPerValue - 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spear/internal/agg"
+	"spear/internal/sample"
+	"spear/internal/stats"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// GroupedManager is the SPEAr window manager for grouped stateful
+// operations (§4.1 "Grouped"). Its architecture depends on whether the
+// number of distinct groups is known at CQ submission:
+//
+// Unknown groups (the general case): grouped results must contain every
+// distinct group, and a stratified sample cannot be built online without
+// knowing group frequencies, so the window's tuples are buffered by the
+// ordinary single-buffer design while the budget b accumulates each
+// group's frequency and value variance. At watermark arrival the manager
+// derives a congressional sample allocation from the frequencies,
+// estimates the L1-aggregated error, and — when the check passes —
+// builds the stratified sample during the eviction scan the
+// single-buffer design performs anyway, aggregating only the sample
+// instead of the whole window.
+//
+// Known groups (Config.KnownGroups > 0): the budget is divided equally
+// and per-group reservoirs are filled at tuple arrival, so the window is
+// never buffered at all — tuples are archived to secondary storage S
+// exactly like the scalar path, the accelerated result costs O(b) with
+// no scan ("no scans of S_w are needed and SPEAr produces R̂_w at a
+// minimal cost"), and a failed check fetches the window back from S.
+type GroupedManager struct {
+	cfg Config
+	est GroupedEstimator
+
+	// Buffered path (unknown groups).
+	buf *window.SingleBuffer
+
+	// Arrival-sampled path (known groups).
+	arc      *archive
+	started  bool
+	nextFire window.ID
+	maxPos   int64
+	late     int64
+
+	wins map[window.ID]*groupedWin
+	seq  int64
+	now  func() time.Time
+}
+
+type groupedWin struct {
+	gs    *sample.GroupStats
+	known *sample.GroupReservoirs // non-nil iff KnownGroups > 0
+}
+
+// NewGroupedManager returns a manager for cfg. cfg.KeyBy must be set.
+func NewGroupedManager(cfg Config) (*GroupedManager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.KeyBy == nil {
+		return nil, fmt.Errorf("core: GroupedManager without KeyBy; use NewScalarManager")
+	}
+	est := cfg.GroupedEstimator
+	if est == nil {
+		est = defaultGroupedEstimator(cfg.Agg)
+	}
+	m := &GroupedManager{
+		cfg:  cfg,
+		est:  est,
+		wins: make(map[window.ID]*groupedWin),
+		now:  time.Now,
+	}
+	if cfg.KnownGroups > 0 {
+		m.arc = newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk)
+	} else {
+		buf, err := window.NewSingleBuffer(window.Config{
+			Spec: cfg.Spec,
+			// Windows answered from per-group metadata never need
+			// their tuples materialized; the evict scan is the only
+			// window-time tuple work SPEAr pays (§4.2: "this scan is
+			// already required by the single buffer design").
+			SkipCollect: m.incrementalApplies,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.buf = buf
+	}
+	return m, nil
+}
+
+// incrementalApplies reports whether window id will be produced from
+// per-group metadata alone (the non-holistic grouped fast path).
+func (m *GroupedManager) incrementalApplies(id window.ID) bool {
+	if !m.cfg.Agg.Incremental() || m.cfg.DisableIncremental {
+		return false
+	}
+	w, ok := m.wins[id]
+	return ok && w.gs.Len() > 0 && w.gs.Len() <= m.cfg.BudgetTuples
+}
+
+func (m *GroupedManager) perGroupCap() int {
+	n := m.cfg.BudgetTuples / m.cfg.KnownGroups
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// OnTuple implements Manager: fold the tuple into each active window's
+// group metadata, then buffer it (unknown groups) or archive it to S
+// (known groups).
+func (m *GroupedManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	pos := t.Ts
+	if m.cfg.Spec.Domain == window.CountDomain {
+		pos = m.seq
+		if m.arc != nil {
+			t.Ts = pos // archive panes index by position
+		}
+	}
+	m.seq++
+	if pos > m.maxPos || m.seq == 1 {
+		m.maxPos = pos
+	}
+
+	lo, hi := m.cfg.Spec.Assign(pos)
+	if m.arc != nil && !m.started {
+		m.started = true
+		m.nextFire = lo
+	}
+	nextFire := m.nextFire
+	if hi >= nextFire {
+		key := m.cfg.KeyBy(t)
+		val := m.cfg.Value(t)
+		if lo < nextFire {
+			lo = nextFire
+		}
+		for id := lo; id <= hi; id++ {
+			w, ok := m.wins[id]
+			if !ok {
+				w = &groupedWin{gs: sample.NewGroupStats()}
+				if m.cfg.KnownGroups > 0 {
+					w.known = sample.NewGroupReservoirs(
+						m.perGroupCap(), m.cfg.Seed+int64(id), sample.AlgoL)
+				}
+				m.wins[id] = w
+			}
+			w.gs.Add(key, val)
+			if w.known != nil {
+				w.known.Add(key, val)
+			}
+		}
+	} else if m.arc != nil {
+		m.late++
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.LateDropped.Inc()
+		}
+	}
+
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Inc()
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+
+	if m.arc != nil {
+		if err := m.arc.add(t); err != nil {
+			return nil, err
+		}
+		if m.cfg.Spec.Domain == window.CountDomain {
+			return m.fireKnown(m.seq)
+		}
+		return nil, nil
+	}
+
+	completes, err := m.buf.OnTuple(t)
+	if err != nil {
+		return nil, err
+	}
+	if len(completes) > 0 { // count-domain windows close on arrival
+		return m.produceBuffered(completes, 0)
+	}
+	return nil, nil
+}
+
+// OnWatermark implements Manager.
+func (m *GroupedManager) OnWatermark(wm int64) ([]Result, error) {
+	if m.cfg.Spec.Domain == window.CountDomain {
+		return nil, nil
+	}
+	if m.arc != nil {
+		return m.fireKnown(wm)
+	}
+	t0 := m.now()
+	completes, err := m.buf.OnWatermark(wm)
+	if err != nil {
+		return nil, err
+	}
+	if len(completes) == 0 {
+		return nil, nil
+	}
+	// The single-buffer trigger scan (collect + evict) just ran for
+	// all fired windows at once; attribute its cost evenly.
+	scanShare := m.now().Sub(t0) / time.Duration(len(completes))
+	return m.produceBuffered(completes, scanShare)
+}
+
+// ---- arrival-sampled path (known groups) ----
+
+func (m *GroupedManager) fireKnown(wm int64) ([]Result, error) {
+	if !m.started {
+		return nil, nil
+	}
+	last := m.cfg.Spec.FirstCompleteBy(wm)
+	if _, hiData := m.cfg.Spec.Assign(m.maxPos); last > hiData {
+		last = hiData
+	}
+	if last < m.nextFire {
+		return nil, nil
+	}
+	var out []Result
+	for id := m.nextFire; id <= last; id++ {
+		r, err := m.produceKnown(id)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			out = append(out, *r)
+		}
+		delete(m.wins, id)
+	}
+	m.nextFire = last + 1
+	start, _ := m.cfg.Spec.Bounds(m.nextFire)
+	if err := m.arc.evictBefore(start); err != nil {
+		return nil, err
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return out, nil
+}
+
+func (m *GroupedManager) produceKnown(id window.ID) (*Result, error) {
+	w, ok := m.wins[id]
+	if !ok {
+		return nil, nil // window received no tuples
+	}
+	t0 := m.now()
+	startPos, endPos := m.cfg.Spec.Bounds(id)
+	res := Result{WindowID: id, Start: startPos, End: endPos, N: w.gs.Total()}
+
+	alloc := make(map[string]int, w.known.Len())
+	w.known.Each(func(key string, r *sample.Reservoir) { alloc[key] = r.Len() })
+	state := GroupedState{
+		Groups: w.gs, Alloc: alloc, N: res.N,
+		Epsilon: m.cfg.Epsilon, Confidence: m.cfg.Confidence, Agg: m.cfg.Agg,
+	}
+	if estErr, ok := m.est(state); ok && estErr <= m.cfg.Epsilon {
+		// The stratified sample was built at tuple arrival: O(b).
+		res.Mode = ModeSampled
+		res.EstError = estErr
+		res.Groups = make(map[string]float64, w.known.Len())
+		sn := 0
+		w.known.Each(func(key string, r *sample.Reservoir) {
+			res.Groups[key] = m.cfg.Agg.Estimate(r.Items(), r.Seen())
+			sn += r.Len()
+		})
+		res.SampleN = sn
+	} else {
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.EstimationFailures.Inc()
+		}
+		ts, err := m.arc.fetch(startPos, endPos)
+		if err != nil {
+			return nil, fmt.Errorf("core: grouped exact fallback window %d: %w", id, err)
+		}
+		keys := make([]string, len(ts))
+		vals := make([]float64, len(ts))
+		for i, t := range ts {
+			keys[i] = m.cfg.KeyBy(t)
+			vals[i] = m.cfg.Value(t)
+		}
+		res.Mode = ModeExact
+		res.Groups = agg.ComputeGrouped(keys, vals, m.cfg.Agg)
+		res.SampleN = len(vals)
+		res.N = int64(len(vals))
+		res.FetchedFromStore = true
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.TuplesProcessedFull.Add(int64(len(vals)))
+		}
+	}
+	m.finishMetrics(&res, t0, 0)
+	return &res, nil
+}
+
+// ---- buffered path (unknown groups) ----
+
+func (m *GroupedManager) produceBuffered(completes []window.Complete, scanShare time.Duration) ([]Result, error) {
+	out := make([]Result, 0, len(completes))
+	for _, c := range completes {
+		r := m.produceFromWindow(c, scanShare)
+		out = append(out, r)
+		delete(m.wins, c.ID)
+		if m.nextFire <= c.ID {
+			m.nextFire = c.ID + 1
+		}
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.MemBytes.Set(int64(m.MemUsage()))
+	}
+	return out, nil
+}
+
+func (m *GroupedManager) produceFromWindow(c window.Complete, scanShare time.Duration) Result {
+	t0 := m.now()
+	res := Result{
+		WindowID: c.ID,
+		Start:    c.Start,
+		End:      c.End,
+		N:        int64(len(c.Tuples)),
+	}
+	w := m.wins[c.ID]
+	if c.Uncollected && w != nil {
+		res.N = w.gs.Total()
+	}
+
+	accelerated := false
+	if m.incrementalApplies(c.ID) {
+		// Non-holistic grouped fast path: the per-group frequency
+		// and variance SPEAr keeps in the budget (§4.1) already
+		// determine count/sum/mean/variance exactly, so R_w comes
+		// straight from the metadata in O(‖S_w‖) — no sample, no
+		// second look at the window's tuples. This is the grouped
+		// form of the incremental optimization SPEAr applies to
+		// non-holistic scalar operations.
+		res.Mode = ModeIncremental
+		res.Groups = make(map[string]float64, w.gs.Len())
+		w.gs.Each(func(key string, wf *stats.Welford) {
+			v, _ := m.cfg.Agg.FromWelford(wf)
+			res.Groups[key] = v
+		})
+		res.SampleN = int(res.N)
+		accelerated = true
+	}
+	if !accelerated && w != nil && w.gs.Len() > 0 && w.gs.Len() <= m.cfg.BudgetTuples {
+		alloc := sample.CongressAllocate(w.gs.Frequencies(), m.cfg.BudgetTuples)
+		state := GroupedState{
+			Groups: w.gs, Alloc: alloc, N: res.N,
+			Epsilon: m.cfg.Epsilon, Confidence: m.cfg.Confidence, Agg: m.cfg.Agg,
+		}
+		if estErr, ok := m.est(state); ok && estErr <= m.cfg.Epsilon {
+			// Build the stratified sample in one pass over the
+			// staged window (the scan the single-buffer design
+			// already paid for evicting) and aggregate only the
+			// sample.
+			res.Mode = ModeSampled
+			res.EstError = estErr
+			keys := make([]string, len(c.Tuples))
+			vals := make([]float64, len(c.Tuples))
+			for i, t := range c.Tuples {
+				keys[i] = m.cfg.KeyBy(t)
+				vals[i] = m.cfg.Value(t)
+			}
+			strata := sample.StratifiedFromBuffer(keys, vals, alloc, m.cfg.Seed+int64(c.ID))
+			res.Groups = make(map[string]float64, len(strata))
+			sn := 0
+			for key, sv := range strata {
+				res.Groups[key] = m.cfg.Agg.Estimate(sv, w.gs.Get(key).Count())
+				sn += len(sv)
+			}
+			res.SampleN = sn
+			accelerated = true
+		} else if m.cfg.Metrics != nil {
+			m.cfg.Metrics.EstimationFailures.Inc()
+		}
+	}
+
+	if !accelerated {
+		// Normal processing: the full grouped aggregate over the
+		// whole window (cost identical to the exact engine).
+		keys := make([]string, len(c.Tuples))
+		vals := make([]float64, len(c.Tuples))
+		for i, t := range c.Tuples {
+			keys[i] = m.cfg.KeyBy(t)
+			vals[i] = m.cfg.Value(t)
+		}
+		res.Mode = ModeExact
+		res.Groups = agg.ComputeGrouped(keys, vals, m.cfg.Agg)
+		res.SampleN = len(vals)
+		res.FetchedFromStore = c.FetchedFromStore
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.TuplesProcessedFull.Add(int64(len(vals)))
+		}
+	}
+	m.finishMetrics(&res, t0, scanShare)
+	return res
+}
+
+func (m *GroupedManager) finishMetrics(res *Result, t0 time.Time, scanShare time.Duration) {
+	if m.cfg.Metrics == nil {
+		return
+	}
+	m.cfg.Metrics.ProcTime.ObserveDuration(m.now().Sub(t0) + scanShare)
+	m.cfg.Metrics.WindowsTotal.Inc()
+	if res.Mode.Accelerated() {
+		m.cfg.Metrics.WindowsAccelerated.Inc()
+	} else {
+		m.cfg.Metrics.WindowsExact.Inc()
+	}
+	if res.FetchedFromStore {
+		m.cfg.Metrics.WindowsSpilled.Inc()
+	}
+}
+
+// MemUsage implements Manager: the per-window group metadata held in
+// the budget, plus the tuple buffer (unknown groups) or transient
+// archive chunks (known groups).
+func (m *GroupedManager) MemUsage() int {
+	n := m.BudgetMemUsage()
+	if m.arc != nil {
+		n += m.arc.memUsage()
+	}
+	return n
+}
+
+// BudgetMemUsage is the memory used to produce results: the per-window
+// group metadata and samples charged against b, plus the tuple buffer
+// when the design requires one (unknown groups). Archive write-behind
+// chunks are excluded, as in ScalarManager.
+func (m *GroupedManager) BudgetMemUsage() int {
+	n := 0
+	if m.buf != nil {
+		n += m.buf.MemUsage()
+	}
+	for _, w := range m.wins {
+		n += w.gs.MemSize()
+		if w.known != nil {
+			n += w.known.MemSize()
+		}
+	}
+	return n
+}
+
+// LateDropped returns the number of dropped late tuples.
+func (m *GroupedManager) LateDropped() int64 {
+	if m.buf != nil {
+		return m.buf.LateDropped()
+	}
+	return m.late
+}
+
+// ensure interface compliance.
+var (
+	_ Manager = (*ScalarManager)(nil)
+	_ Manager = (*GroupedManager)(nil)
+)

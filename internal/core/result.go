@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// Mode says how a window result was produced.
+type Mode uint8
+
+// Result production modes.
+const (
+	// ModeExact means the whole window was processed (ε̂_w > ε, or
+	// approximation was impossible). Performance is identical to a
+	// conventional SPE plus the accuracy check.
+	ModeExact Mode = iota
+	// ModeSampled means the result was estimated from the budget's
+	// sample — the accelerated path.
+	ModeSampled
+	// ModeIncremental means a non-holistic operation was maintained
+	// exactly at tuple arrival and finalized in O(1).
+	ModeIncremental
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeSampled:
+		return "sampled"
+	case ModeIncremental:
+		return "incremental"
+	default:
+		return "exact"
+	}
+}
+
+// Accelerated reports whether the window avoided full processing.
+func (m Mode) Accelerated() bool { return m != ModeExact }
+
+// Result is one window's output R_w (or R̂_w).
+type Result struct {
+	WindowID   window.ID
+	Start, End int64 // [Start, End) in the spec's domain
+	N          int64 // window size |S_w|
+	SampleN    int   // tuples the result was computed from
+
+	Mode Mode
+	// EstError is the estimated error ε̂_w the accuracy check
+	// compared against ε (0 for exact and incremental results).
+	EstError float64
+	// FetchedFromStore reports whether secondary storage was read.
+	FetchedFromStore bool
+
+	// Scalar holds the result of a scalar operation.
+	Scalar float64
+	// Groups holds per-group results for grouped operations; nil for
+	// scalar ones.
+	Groups map[string]float64
+}
+
+// String renders the result for logs.
+func (r Result) String() string {
+	if r.Groups != nil {
+		return fmt.Sprintf("window[%d,%d) %s groups=%d n=%d/%d ε̂=%.4f",
+			r.Start, r.End, r.Mode, len(r.Groups), r.SampleN, r.N, r.EstError)
+	}
+	return fmt.Sprintf("window[%d,%d) %s value=%g n=%d/%d ε̂=%.4f",
+		r.Start, r.End, r.Mode, r.Scalar, r.SampleN, r.N, r.EstError)
+}
+
+// Manager is the SPEAr window manager interface: identical lifecycle to
+// window.Manager but producing Results instead of raw windows.
+type Manager interface {
+	// OnTuple ingests one tuple; count-domain specs may complete
+	// windows here.
+	OnTuple(t tuple.Tuple) ([]Result, error)
+	// OnWatermark completes every window with end ≤ wm.
+	OnWatermark(wm int64) ([]Result, error)
+	// MemUsage returns the bytes currently held for result
+	// production (the Fig. 7 metric).
+	MemUsage() int
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spear/internal/agg"
+	"spear/internal/sample"
+	"spear/internal/stats"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// ScalarManager is the SPEAr window manager for scalar stateful
+// operations (§4.1 "Scalar"). Instead of buffering the window, it keeps
+// per active window a reservoir sample of the aggregated values bounded
+// by the budget b, plus the window's incrementally maintained size and
+// moments; every tuple is archived to secondary storage S for the exact
+// fallback. At watermark arrival it runs the accuracy check of Alg. 2.
+type ScalarManager struct {
+	cfg Config
+	est ScalarEstimator
+	arc *archive
+
+	wins      map[window.ID]*scalarWin
+	started   bool
+	nextFire  window.ID
+	seq       int64
+	maxPos    int64
+	late      int64
+	curBudget int
+	now       func() time.Time
+}
+
+type scalarWin struct {
+	res   *sample.Reservoir
+	all   stats.Welford // moments and count of every tuple in the window
+	inc   *agg.Incremental
+	first int64 // position of the first tuple (diagnostics)
+}
+
+// NewScalarManager returns a manager for cfg. cfg.KeyBy must be nil.
+func NewScalarManager(cfg Config) (*ScalarManager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.KeyBy != nil {
+		return nil, fmt.Errorf("core: ScalarManager given a grouped config; use NewGroupedManager")
+	}
+	est := cfg.ScalarEstimator
+	if est == nil {
+		est = defaultScalarEstimator(cfg.Agg)
+	}
+	if p, ok := cfg.Budget.(*AIMDBudget); ok && p.Epsilon == 0 {
+		p.Epsilon = cfg.Epsilon
+	}
+	return &ScalarManager{
+		cfg:       cfg,
+		est:       est,
+		arc:       newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk),
+		wins:      make(map[window.ID]*scalarWin),
+		curBudget: cfg.BudgetTuples,
+		now:       time.Now,
+	}, nil
+}
+
+func (m *ScalarManager) useIncremental() bool {
+	return m.cfg.Custom == nil && m.cfg.Agg.Incremental() && !m.cfg.DisableIncremental
+}
+
+// evalSample evaluates the operation on a sample from a window of n.
+func (m *ScalarManager) evalSample(sample []float64, n int64) float64 {
+	if m.cfg.Custom != nil {
+		return m.cfg.Custom.Compute(sample, n)
+	}
+	return m.cfg.Agg.Estimate(sample, n)
+}
+
+// evalExact evaluates the operation on the full window.
+func (m *ScalarManager) evalExact(values []float64) float64 {
+	if m.cfg.Custom != nil {
+		return m.cfg.Custom.Compute(values, int64(len(values)))
+	}
+	return m.cfg.Agg.Compute(values)
+}
+
+// OnTuple implements Manager (Alg. 1): update the budget's sample and
+// statistics, archive the tuple to S.
+func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	pos := t.Ts
+	if m.cfg.Spec.Domain == window.CountDomain {
+		pos = m.seq
+		t.Ts = pos
+	}
+	m.seq++
+	if pos > m.maxPos || m.seq == 1 {
+		m.maxPos = pos
+	}
+
+	lo, hi := m.cfg.Spec.Assign(pos)
+	if !m.started {
+		m.started = true
+		m.nextFire = lo
+	}
+	if hi < m.nextFire {
+		m.late++
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.LateDropped.Inc()
+		}
+		return nil, nil
+	}
+	if lo < m.nextFire {
+		lo = m.nextFire
+	}
+
+	v := m.cfg.Value(t)
+	for id := lo; id <= hi; id++ {
+		w, ok := m.wins[id]
+		if !ok {
+			w = &scalarWin{
+				res:   sample.NewReservoir(m.curBudget, m.cfg.Seed+int64(id), sample.AlgoL),
+				first: pos,
+			}
+			if m.useIncremental() {
+				w.inc, _ = agg.NewIncremental(m.cfg.Agg)
+			}
+			m.wins[id] = w
+		}
+		w.res.Add(v)
+		w.all.Add(v)
+		if w.inc != nil {
+			w.inc.Add(v)
+		}
+	}
+	if err := m.arc.add(t); err != nil {
+		return nil, err
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Inc()
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+
+	if m.cfg.Spec.Domain == window.CountDomain {
+		return m.fire(m.seq)
+	}
+	return nil, nil
+}
+
+// OnWatermark implements Manager (Alg. 2).
+func (m *ScalarManager) OnWatermark(wm int64) ([]Result, error) {
+	if m.cfg.Spec.Domain == window.CountDomain {
+		return nil, nil
+	}
+	return m.fire(wm)
+}
+
+func (m *ScalarManager) fire(wm int64) ([]Result, error) {
+	if !m.started {
+		return nil, nil
+	}
+	last := m.cfg.Spec.FirstCompleteBy(wm)
+	// Clamp to windows that can hold data, so a +∞ closing watermark
+	// fires a finite range.
+	if _, hiData := m.cfg.Spec.Assign(m.maxPos); last > hiData {
+		last = hiData
+	}
+	if last < m.nextFire {
+		return nil, nil
+	}
+	var out []Result
+	for id := m.nextFire; id <= last; id++ {
+		r, err := m.produce(id)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			out = append(out, *r)
+			if m.cfg.Budget != nil {
+				if next := m.cfg.Budget.Next(m.curBudget, *r); next >= 1 {
+					m.curBudget = next
+				}
+			}
+		}
+		delete(m.wins, id)
+	}
+	m.nextFire = last + 1
+	start, _ := m.cfg.Spec.Bounds(m.nextFire)
+	if err := m.arc.evictBefore(start); err != nil {
+		return nil, err
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return out, nil
+}
+
+// produce runs Alg. 2 for one window: estimate ε̂_w from budget contents
+// and either emit R̂_w or fall back to the whole window.
+func (m *ScalarManager) produce(id window.ID) (*Result, error) {
+	w, ok := m.wins[id]
+	if !ok {
+		return nil, nil // window received no tuples
+	}
+	t0 := m.now()
+	startPos, endPos := m.cfg.Spec.Bounds(id)
+	res := Result{
+		WindowID: id,
+		Start:    startPos,
+		End:      endPos,
+		N:        w.all.Count(),
+	}
+
+	switch {
+	case w.inc != nil:
+		// Non-holistic fast path: the result was maintained at tuple
+		// arrival; finalizing is O(1) ("it only performs a division
+		// to produce the mean per window").
+		res.Mode = ModeIncremental
+		res.Scalar = w.inc.Result()
+		res.SampleN = int(w.all.Count())
+
+	default:
+		// Accuracy estimation from b's contents only.
+		smp := w.res.Items()
+		var sw stats.Welford
+		for _, v := range smp {
+			sw.Add(v)
+		}
+		state := ScalarState{
+			Sample:     smp,
+			N:          w.all.Count(),
+			Stats:      &sw,
+			Epsilon:    m.cfg.Epsilon,
+			Confidence: m.cfg.Confidence,
+			Agg:        m.cfg.Agg,
+			Custom:     m.cfg.Custom,
+		}
+		estErr, ok := m.est(state)
+		if ok && estErr <= m.cfg.Epsilon {
+			res.Mode = ModeSampled
+			res.EstError = estErr
+			res.SampleN = len(smp)
+			res.Scalar = m.evalSample(smp, state.N)
+		} else {
+			// ε̂_w > ε: process the whole window from S (Alg. 2
+			// line 5) — performance identical to normal execution
+			// plus the failed check.
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.EstimationFailures.Inc()
+			}
+			ts, err := m.arc.fetch(startPos, endPos)
+			if err != nil {
+				return nil, fmt.Errorf("core: exact fallback window %d: %w", id, err)
+			}
+			vals := make([]float64, len(ts))
+			for i, t := range ts {
+				vals[i] = m.cfg.Value(t)
+			}
+			res.Mode = ModeExact
+			res.SampleN = len(vals)
+			res.N = int64(len(vals))
+			res.Scalar = m.evalExact(vals)
+			res.FetchedFromStore = true
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.TuplesProcessedFull.Add(int64(len(vals)))
+			}
+		}
+	}
+
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.ProcTime.ObserveDuration(m.now().Sub(t0))
+		m.cfg.Metrics.WindowsTotal.Inc()
+		if res.Mode.Accelerated() {
+			m.cfg.Metrics.WindowsAccelerated.Inc()
+		} else {
+			m.cfg.Metrics.WindowsExact.Inc()
+		}
+		if res.FetchedFromStore {
+			m.cfg.Metrics.WindowsSpilled.Inc()
+		}
+	}
+	return &res, nil
+}
+
+// MemUsage implements Manager: the budget-resident state (samples plus
+// per-window statistics) and the transient archive chunk buffers.
+func (m *ScalarManager) MemUsage() int {
+	return m.arc.memUsage() + m.BudgetMemUsage()
+}
+
+// BudgetMemUsage is the memory used to produce results — the reservoir
+// samples and per-window statistics charged against b. This is the
+// quantity Fig. 7 shows staying flat at ≈b while the exact engine's
+// buffer grows with the window; the archive's write-behind chunks
+// (bounded by ArchiveChunk·overlap tuples regardless of window size)
+// are the cost of shipping tuples to S, not of producing results, and
+// are excluded here just as the paper excludes its workers' S writes.
+func (m *ScalarManager) BudgetMemUsage() int {
+	n := 0
+	for _, w := range m.wins {
+		n += w.res.MemSize() + w.all.MemSize()
+	}
+	return n
+}
+
+// LateDropped returns the number of dropped late tuples.
+func (m *ScalarManager) LateDropped() int64 { return m.late }

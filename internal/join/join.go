@@ -1,0 +1,239 @@
+// Package join implements windowed stream equi-joins, the stateful
+// operation the paper routes through its custom-operation API ("At the
+// moment, relational joins can be implemented using the API for custom
+// stateful operations, because a widely-accepted metric for measuring
+// join accuracy does not exist", §4).
+//
+// The joiner is a symmetric hash join over two event-time-ordered
+// streams: tuples a ∈ A and b ∈ B join when their keys are equal and
+// |a.Ts − b.Ts| ≤ Window. State is evicted by watermark, exactly like
+// the engine's window managers.
+//
+// For approximate processing the joiner supports universe sampling
+// (as in the join-approximation literature the paper cites): a key
+// survives with probability p on *both* inputs — decided by one shared
+// hash — so surviving keys join completely and the join-size estimate
+// observed/p is unbiased. Plain per-tuple Bernoulli sampling would
+// square the survival probability of each pair and is the classic
+// mistake universe sampling exists to avoid.
+package join
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spear/internal/tuple"
+)
+
+// Side identifies an input stream.
+type Side uint8
+
+// The two join inputs.
+const (
+	Left Side = iota
+	Right
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == Right {
+		return "right"
+	}
+	return "left"
+}
+
+// Pair is one join output.
+type Pair struct {
+	Left, Right tuple.Tuple
+}
+
+// Config configures a Joiner.
+type Config struct {
+	// Window is the maximum event-time distance (in the streams' Ts
+	// units) between joining tuples. Must be positive.
+	Window int64
+	// LeftKey and RightKey extract the equi-join keys.
+	LeftKey, RightKey tuple.KeyExtractor
+	// SampleRate is the universe-sampling rate p in (0, 1]; 1 joins
+	// exactly. Keys are sampled consistently across both inputs.
+	SampleRate float64
+	// Seed drives the sampling hash.
+	Seed int64
+	// Emit receives every surviving join pair. Required.
+	Emit func(Pair)
+}
+
+func (c *Config) validate() error {
+	if c.Window <= 0 {
+		return errors.New("join: window must be positive")
+	}
+	if c.LeftKey == nil || c.RightKey == nil {
+		return errors.New("join: both key extractors are required")
+	}
+	if c.SampleRate == 0 {
+		c.SampleRate = 1
+	}
+	if !(c.SampleRate > 0 && c.SampleRate <= 1) {
+		return fmt.Errorf("join: sample rate %v outside (0, 1]", c.SampleRate)
+	}
+	if c.Emit == nil {
+		return errors.New("join: Emit is required")
+	}
+	return nil
+}
+
+// Joiner is a symmetric windowed hash join. It is single-goroutine,
+// like the engine's window managers.
+type Joiner struct {
+	cfg       Config
+	threshold uint64 // keys with hash < threshold survive
+
+	sides [2]sideState
+
+	emitted int64
+	dropped int64 // tuples excluded by sampling
+}
+
+type sideState struct {
+	key    tuple.KeyExtractor
+	byKey  map[string][]tuple.Tuple
+	order  []keyedTs // arrival order for eviction
+	oldest int       // index of first live entry in order
+}
+
+type keyedTs struct {
+	key string
+	ts  int64
+}
+
+// New returns a joiner for cfg.
+func New(cfg Config) (*Joiner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	j := &Joiner{cfg: cfg}
+	if cfg.SampleRate >= 1 {
+		j.threshold = math.MaxUint64
+	} else {
+		j.threshold = uint64(cfg.SampleRate * float64(math.MaxUint64))
+	}
+	j.sides[Left] = sideState{key: cfg.LeftKey, byKey: make(map[string][]tuple.Tuple)}
+	j.sides[Right] = sideState{key: cfg.RightKey, byKey: make(map[string][]tuple.Tuple)}
+	return j, nil
+}
+
+// survives reports whether a key is in the sampled universe. The hash
+// is FNV-1a mixed with cfg.Seed, so different seeds sample different
+// key universes while runs stay fully deterministic, and both inputs
+// agree on every key.
+func (j *Joiner) survives(key string) bool {
+	if j.threshold == math.MaxUint64 {
+		return true
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(j.cfg.Seed) * 0x9e3779b97f4a7c15
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h < j.threshold
+}
+
+// OnTuple ingests one tuple from the given side, emitting every join
+// pair it completes against the opposite side's live state.
+func (j *Joiner) OnTuple(side Side, t tuple.Tuple) {
+	if side != Left && side != Right {
+		panic("join: invalid side")
+	}
+	s := &j.sides[side]
+	key := s.key(t)
+	if !j.survives(key) {
+		j.dropped++
+		return
+	}
+
+	// Probe the opposite side.
+	other := &j.sides[1-side]
+	for _, o := range other.byKey[key] {
+		d := t.Ts - o.Ts
+		if d < 0 {
+			d = -d
+		}
+		if d <= j.cfg.Window {
+			p := Pair{Left: t, Right: o}
+			if side == Right {
+				p = Pair{Left: o, Right: t}
+			}
+			j.cfg.Emit(p)
+			j.emitted++
+		}
+	}
+
+	// Insert into this side.
+	s.byKey[key] = append(s.byKey[key], t)
+	s.order = append(s.order, keyedTs{key: key, ts: t.Ts})
+}
+
+// OnWatermark evicts, from both sides, every tuple that can no longer
+// join: those with ts < wm − Window (any future tuple has ts ≥ wm).
+func (j *Joiner) OnWatermark(wm int64) {
+	limit := wm - j.cfg.Window
+	for si := range j.sides {
+		s := &j.sides[si]
+		for s.oldest < len(s.order) {
+			e := s.order[s.oldest]
+			if e.ts >= limit {
+				break
+			}
+			// Drop the oldest tuple of this key (arrival order per
+			// key matches global arrival order for in-order input).
+			q := s.byKey[e.key]
+			drop := 0
+			for drop < len(q) && q[drop].Ts < limit {
+				drop++
+			}
+			if drop > 0 {
+				q = q[drop:]
+			}
+			if len(q) == 0 {
+				delete(s.byKey, e.key)
+			} else {
+				s.byKey[e.key] = q
+			}
+			s.oldest++
+		}
+		// Periodically compact the order slice.
+		if s.oldest > 4096 && s.oldest > len(s.order)/2 {
+			s.order = append([]keyedTs(nil), s.order[s.oldest:]...)
+			s.oldest = 0
+		}
+	}
+}
+
+// Emitted returns the number of pairs emitted so far.
+func (j *Joiner) Emitted() int64 { return j.emitted }
+
+// SampledOut returns the number of tuples excluded by universe
+// sampling.
+func (j *Joiner) SampledOut() int64 { return j.dropped }
+
+// EstimateJoinSize scales the emitted count by the sampling rate: with
+// universe sampling at rate p, emitted/p is an unbiased estimate of the
+// exact join size.
+func (j *Joiner) EstimateJoinSize() float64 {
+	return float64(j.emitted) / j.cfg.SampleRate
+}
+
+// StateSize returns the number of buffered tuples across both sides.
+func (j *Joiner) StateSize() int {
+	n := 0
+	for si := range j.sides {
+		for _, q := range j.sides[si].byKey {
+			n += len(q)
+		}
+	}
+	return n
+}

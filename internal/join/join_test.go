@@ -1,0 +1,266 @@
+package join
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spear/internal/tuple"
+)
+
+func mkJoiner(t *testing.T, window int64, rate float64, seed int64) (*Joiner, *[]Pair) {
+	t.Helper()
+	var out []Pair
+	j, err := New(Config{
+		Window:     window,
+		LeftKey:    tuple.FieldString(0),
+		RightKey:   tuple.FieldString(0),
+		SampleRate: rate,
+		Seed:       seed,
+		Emit:       func(p Pair) { out = append(out, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, &out
+}
+
+func kt(ts int64, key string) tuple.Tuple {
+	return tuple.New(ts, tuple.String_(key), tuple.Float(float64(ts)))
+}
+
+func TestConfigValidation(t *testing.T) {
+	emit := func(Pair) {}
+	key := tuple.FieldString(0)
+	cases := []Config{
+		{Window: 0, LeftKey: key, RightKey: key, Emit: emit},
+		{Window: 10, LeftKey: nil, RightKey: key, Emit: emit},
+		{Window: 10, LeftKey: key, RightKey: nil, Emit: emit},
+		{Window: 10, LeftKey: key, RightKey: key, Emit: nil},
+		{Window: 10, LeftKey: key, RightKey: key, SampleRate: 1.5, Emit: emit},
+		{Window: 10, LeftKey: key, RightKey: key, SampleRate: -0.1, Emit: emit},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBasicEquiJoin(t *testing.T) {
+	j, out := mkJoiner(t, 10, 1, 0)
+	j.OnTuple(Left, kt(5, "a"))
+	j.OnTuple(Left, kt(6, "b"))
+	j.OnTuple(Right, kt(8, "a"))  // joins left ts=5 (|8−5|=3 ≤ 10)
+	j.OnTuple(Right, kt(20, "a")) // ts 20 vs 5: distance 15 > 10 → no join
+	j.OnTuple(Right, kt(9, "c"))  // no left match
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d pairs: %v", len(*out), *out)
+	}
+	p := (*out)[0]
+	if p.Left.Ts != 5 || p.Right.Ts != 8 {
+		t.Errorf("pair = %+v", p)
+	}
+	if j.Emitted() != 1 {
+		t.Errorf("Emitted = %d", j.Emitted())
+	}
+}
+
+func TestPairOrientation(t *testing.T) {
+	// Whichever side arrives second, Left always holds the A tuple.
+	j, out := mkJoiner(t, 100, 1, 0)
+	j.OnTuple(Right, kt(1, "k"))
+	j.OnTuple(Left, kt(2, "k"))
+	if len(*out) != 1 {
+		t.Fatal("no pair")
+	}
+	if (*out)[0].Left.Ts != 2 || (*out)[0].Right.Ts != 1 {
+		t.Errorf("orientation wrong: %+v", (*out)[0])
+	}
+}
+
+// bruteForce computes the exact join for reference.
+func bruteForce(left, right []tuple.Tuple, window int64) int {
+	n := 0
+	for _, a := range left {
+		for _, b := range right {
+			if a.Vals[0].AsString() != b.Vals[0].AsString() {
+				continue
+			}
+			d := a.Ts - b.Ts
+			if d < 0 {
+				d = -d
+			}
+			if d <= window {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var left, right []tuple.Tuple
+	for ts := int64(0); ts < 500; ts++ {
+		if r.Intn(2) == 0 {
+			left = append(left, kt(ts, fmt.Sprintf("k%d", r.Intn(20))))
+		} else {
+			right = append(right, kt(ts, fmt.Sprintf("k%d", r.Intn(20))))
+		}
+	}
+	j, out := mkJoiner(t, 25, 1, 0)
+	li, ri := 0, 0
+	for li < len(left) || ri < len(right) { // interleave by ts
+		if ri >= len(right) || (li < len(left) && left[li].Ts < right[ri].Ts) {
+			j.OnTuple(Left, left[li])
+			li++
+		} else {
+			j.OnTuple(Right, right[ri])
+			ri++
+		}
+	}
+	want := bruteForce(left, right, 25)
+	if len(*out) != want {
+		t.Errorf("joined %d pairs, brute force %d", len(*out), want)
+	}
+}
+
+func TestEvictionCorrectAndBounded(t *testing.T) {
+	j, out := mkJoiner(t, 10, 1, 0)
+	for ts := int64(0); ts < 10000; ts++ {
+		j.OnTuple(Left, kt(ts, "k"))
+		j.OnTuple(Right, kt(ts, "k"))
+		if ts%50 == 49 {
+			j.OnWatermark(ts)
+		}
+	}
+	// State must stay bounded near 2 sides × (window+slack).
+	if j.StateSize() > 200 {
+		t.Errorf("state size %d not bounded by eviction", j.StateSize())
+	}
+	// Every tuple joins with ≤ 2·window+1 partners; spot-check count:
+	// each right tuple at ts joins left ts−10..ts (already arrived) =
+	// 11, and each left tuple joins right ts−10..ts−1 = 10 (its same-ts
+	// right arrives after). Ignore stream edges.
+	want := int64(10000*11 + 10000*10 - 110) // minus ramp-up edge
+	if math.Abs(float64(j.Emitted()-want)) > 200 {
+		t.Errorf("emitted %d, want ≈%d", j.Emitted(), want)
+	}
+	_ = out
+}
+
+func TestEvictionDoesNotDropLiveTuples(t *testing.T) {
+	j, out := mkJoiner(t, 10, 1, 0)
+	j.OnTuple(Left, kt(100, "k"))
+	j.OnWatermark(105) // limit = 95 < 100: tuple must stay
+	j.OnTuple(Right, kt(108, "k"))
+	if len(*out) != 1 {
+		t.Fatalf("live tuple was evicted (pairs=%d)", len(*out))
+	}
+	j.OnWatermark(200) // now it goes
+	j.OnTuple(Right, kt(205, "k"))
+	if len(*out) != 1 {
+		t.Error("expired tuple joined")
+	}
+	if j.StateSize() == 0 {
+		t.Log("state empty as expected except the ts=205 tuple")
+	}
+}
+
+func TestUniverseSamplingConsistency(t *testing.T) {
+	// A key either joins completely or not at all — never partially.
+	j, out := mkJoiner(t, 1000, 0.5, 3)
+	perKey := map[string]int{}
+	for ts := int64(0); ts < 2000; ts++ {
+		k := fmt.Sprintf("k%d", ts%100)
+		j.OnTuple(Left, kt(ts, k))
+		j.OnTuple(Right, kt(ts, k))
+	}
+	for _, p := range *out {
+		perKey[p.Left.Vals[0].AsString()]++
+	}
+	if len(perKey) == 0 || len(perKey) == 100 {
+		t.Fatalf("sampled %d of 100 keys; rate 0.5 should keep roughly half", len(perKey))
+	}
+	// Each surviving key must have the full pair count of its group:
+	// occurrences sit 100 apart, so the 1000-window admits |i−j| ≤ 10
+	// of the 20×20 grid = 310 ordered pairs. A smaller count would
+	// mean the key joined partially — the bias universe sampling
+	// exists to avoid.
+	for k, n := range perKey {
+		if n != 310 {
+			t.Errorf("key %s joined %d pairs, want 310 (partial group = biased)", k, n)
+		}
+	}
+	if j.SampledOut() == 0 {
+		t.Error("nothing was sampled out at rate 0.5")
+	}
+}
+
+func TestJoinSizeEstimateUnbiased(t *testing.T) {
+	// Average the estimate over several seeds: it should land near
+	// the exact join size.
+	const keys = 200
+	exact := 0
+	mkPairs := func(j *Joiner) {
+		for ts := int64(0); ts < 2000; ts++ {
+			k := fmt.Sprintf("k%d", ts%keys)
+			j.OnTuple(Left, kt(ts, k))
+			j.OnTuple(Right, kt(ts, k))
+		}
+	}
+	{
+		j, out := mkJoiner(t, 1000, 1, 0)
+		mkPairs(j)
+		exact = len(*out)
+	}
+	var sum float64
+	const seeds = 20
+	for seed := int64(1); seed <= seeds; seed++ {
+		j, _ := mkJoiner(t, 1000, 0.3, seed)
+		mkPairs(j)
+		sum += j.EstimateJoinSize()
+	}
+	avg := sum / seeds
+	if rel := math.Abs(avg-float64(exact)) / float64(exact); rel > 0.15 {
+		t.Errorf("mean estimate %v vs exact %d (rel %.3f)", avg, exact, rel)
+	}
+}
+
+func TestInvalidSidePanics(t *testing.T) {
+	j, _ := mkJoiner(t, 10, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	j.OnTuple(Side(7), kt(1, "k"))
+}
+
+func BenchmarkJoinThroughput(b *testing.B) {
+	var n int
+	j, err := New(Config{
+		Window:   1000,
+		LeftKey:  tuple.FieldString(0),
+		RightKey: tuple.FieldString(0),
+		Emit:     func(Pair) { n++ },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		side := Side(i & 1)
+		j.OnTuple(side, kt(int64(i), keys[i&63]))
+		if i%1000 == 999 {
+			j.OnWatermark(int64(i))
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package metrics is the engine's runtime telemetry, mirroring the role
+// of Storm's metrics API in the paper's evaluation ("we use Storm's
+// metrics API, which provides periodic reporting of runtime telemetry
+// for each worker thread"). It provides atomic counters, gauges with
+// peak tracking, and histograms that report the mean and 95-percentile
+// window processing times the figures plot.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value with a recorded high-water mark.
+type Gauge struct {
+	mu   sync.Mutex
+	v    int64
+	peak int64
+}
+
+// Set records the current value and updates the peak.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
+	g.mu.Unlock()
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Peak returns the high-water mark.
+func (g *Gauge) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
+// Histogram records float64 observations and reports order statistics.
+// It keeps every observation: experiments record one value per window,
+// a few thousand at most, and exactness matters more than bounded
+// memory here.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,1]) by linear
+// interpolation, or 0 with no observations.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	rank := p * float64(n-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Max returns the largest observation, or 0 with none.
+func (h *Histogram) Max() float64 { return h.Percentile(1) }
+
+// Samples returns a copy of all observations in arrival order.
+func (h *Histogram) Samples() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]float64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sum = 0
+	h.mu.Unlock()
+}
+
+// Worker is the per-worker-thread telemetry bundle the experiments read.
+type Worker struct {
+	Name string
+
+	// ProcTime records the per-window processing time in nanoseconds:
+	// the time from staging a complete window to emitting its result
+	// (the metric of Figs. 6, 8, 10, 12).
+	ProcTime Histogram
+
+	// MemBytes tracks the worker's buffered bytes used to produce
+	// results (Fig. 7); Peak gives the high-water mark.
+	MemBytes Gauge
+
+	TuplesIn            Counter // tuples received
+	WindowsTotal        Counter // windows fired
+	WindowsAccelerated  Counter // windows answered from the sample
+	WindowsExact        Counter // windows processed in full
+	WindowsSpilled      Counter // windows that touched secondary storage
+	LateDropped         Counter // tuples behind the last fired window
+	EstimationFailures  Counter // accuracy checks that rejected acceleration
+	TuplesProcessedFull Counter // tuples scanned by exact processing
+}
+
+// AcceleratedFraction returns the fraction of windows answered from the
+// sample (the §5.4 metric: "SPEAr expedites only 68% of the total
+// windows").
+func (w *Worker) AcceleratedFraction() float64 {
+	total := w.WindowsTotal.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(w.WindowsAccelerated.Load()) / float64(total)
+}
+
+// Registry collects per-worker telemetry for one engine run.
+type Registry struct {
+	mu      sync.Mutex
+	workers []*Worker
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Worker returns a new named worker bundle registered with r.
+func (r *Registry) Worker(name string) *Worker {
+	w := &Worker{Name: name}
+	r.mu.Lock()
+	r.workers = append(r.workers, w)
+	r.mu.Unlock()
+	return w
+}
+
+// Workers returns all registered workers in registration order.
+func (r *Registry) Workers() []*Worker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Worker, len(r.workers))
+	copy(out, r.workers)
+	return out
+}
+
+// Summary aggregates registry-wide statistics.
+type Summary struct {
+	Workers            int
+	Windows            int64
+	Accelerated        int64
+	MeanProcTime       time.Duration // mean of per-window times across workers
+	P95ProcTime        time.Duration
+	MeanMemBytes       float64 // mean of per-worker peak memory
+	TuplesIn           int64
+	LateDropped        int64
+	EstimationFailures int64
+}
+
+// Summarize merges all workers' telemetry: processing times are pooled
+// across workers (the paper reports "the average processing time among
+// all workers"), memory is the mean per-worker peak.
+func (r *Registry) Summarize() Summary {
+	var s Summary
+	var pooled []float64
+	var memSum float64
+	for _, w := range r.Workers() {
+		s.Workers++
+		s.Windows += w.WindowsTotal.Load()
+		s.Accelerated += w.WindowsAccelerated.Load()
+		s.TuplesIn += w.TuplesIn.Load()
+		s.LateDropped += w.LateDropped.Load()
+		s.EstimationFailures += w.EstimationFailures.Load()
+		pooled = append(pooled, w.ProcTime.Samples()...)
+		memSum += float64(w.MemBytes.Peak())
+	}
+	if s.Workers > 0 {
+		s.MeanMemBytes = memSum / float64(s.Workers)
+	}
+	if len(pooled) > 0 {
+		var h Histogram
+		for _, v := range pooled {
+			h.Observe(v)
+		}
+		s.MeanProcTime = time.Duration(h.Mean())
+		s.P95ProcTime = time.Duration(h.Percentile(0.95))
+	}
+	return s
+}
+
+// String renders the summary as one log line.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"workers=%d windows=%d accel=%d (%.1f%%) mean=%v p95=%v mem=%.0fB tuples=%d late=%d estfail=%d",
+		s.Workers, s.Windows, s.Accelerated,
+		100*safeFrac(s.Accelerated, s.Windows),
+		s.MeanProcTime, s.P95ProcTime, s.MeanMemBytes, s.TuplesIn,
+		s.LateDropped, s.EstimationFailures)
+}
+
+func safeFrac(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("Load = %d", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 10000 {
+		t.Errorf("Load = %d, want 10000", c.Load())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Set(50)
+	g.Set(20)
+	if g.Load() != 20 {
+		t.Errorf("Load = %d", g.Load())
+	}
+	if g.Peak() != 50 {
+		t.Errorf("Peak = %d", g.Peak())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for _, v := range []float64{10, 20, 30, 40, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 30 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if got := h.Percentile(0.5); got != 30 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Percentile(0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Percentile(1); got != 50 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := h.Max(); got != 50 {
+		t.Errorf("Max = %v", got)
+	}
+	// Interpolated p95 between 40 and 50.
+	if got := h.Percentile(0.95); got <= 40 || got > 50 {
+		t.Errorf("p95 = %v", got)
+	}
+	s := h.Samples()
+	if len(s) != 5 || s[0] != 10 {
+		t.Errorf("Samples = %v", s)
+	}
+	s[0] = 999
+	if h.Percentile(0) == 999 {
+		t.Error("Samples aliases internal storage")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Mean() != 3e6 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+}
+
+func TestWorkerAcceleratedFraction(t *testing.T) {
+	var w Worker
+	if w.AcceleratedFraction() != 0 {
+		t.Error("no windows should give 0")
+	}
+	w.WindowsTotal.Add(10)
+	w.WindowsAccelerated.Add(7)
+	if got := w.AcceleratedFraction(); got != 0.7 {
+		t.Errorf("AcceleratedFraction = %v", got)
+	}
+}
+
+func TestRegistrySummarize(t *testing.T) {
+	r := NewRegistry()
+	w1 := r.Worker("op-0")
+	w2 := r.Worker("op-1")
+	if len(r.Workers()) != 2 {
+		t.Fatalf("Workers = %d", len(r.Workers()))
+	}
+
+	w1.WindowsTotal.Add(4)
+	w1.WindowsAccelerated.Add(4)
+	w1.TuplesIn.Add(100)
+	w1.MemBytes.Set(1000)
+	w2.WindowsTotal.Add(4)
+	w2.TuplesIn.Add(100)
+	w2.MemBytes.Set(3000)
+	w2.LateDropped.Inc()
+	w2.EstimationFailures.Add(2)
+	for _, v := range []float64{1e6, 2e6} {
+		w1.ProcTime.Observe(v)
+		w2.ProcTime.Observe(v * 10)
+	}
+
+	s := r.Summarize()
+	if s.Workers != 2 || s.Windows != 8 || s.Accelerated != 4 || s.TuplesIn != 200 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.MeanMemBytes != 2000 {
+		t.Errorf("MeanMemBytes = %v", s.MeanMemBytes)
+	}
+	// Pooled mean of {1, 2, 10, 20} ms = 8.25ms.
+	if s.MeanProcTime != time.Duration(8.25e6) {
+		t.Errorf("MeanProcTime = %v", s.MeanProcTime)
+	}
+	if s.LateDropped != 1 || s.EstimationFailures != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "windows=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewRegistry().Summarize()
+	if s.Workers != 0 || s.MeanProcTime != 0 || s.MeanMemBytes != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}

@@ -1,0 +1,141 @@
+package sample
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CongressAllocate splits a sample budget (in tuples) among groups using
+// basic congressional allocation (Acharya et al., SIGMOD'00), the
+// technique SPEAr applies to grouped operations (§4.1). The allocation
+// is the normalized maximum of:
+//
+//   - the "house": proportional to each group's frequency, which favors
+//     large groups and keeps overall error low, and
+//   - the "senate": equal share per group, which guarantees small groups
+//     minimum representation so R̂_w contains every distinct group.
+//
+// Groups with fewer tuples than their allocation are capped at their
+// frequency. The returned sizes sum to at most budget. An empty
+// frequency map or non-positive budget yields nil.
+func CongressAllocate(freqs map[string]int64, budget int) map[string]int {
+	if budget <= 0 || len(freqs) == 0 {
+		return nil
+	}
+	g := len(freqs)
+	var total int64
+	for _, f := range freqs {
+		total += f
+	}
+	if total == 0 {
+		return nil
+	}
+
+	// Deterministic iteration order so rounding is reproducible.
+	keys := make([]string, 0, g)
+	for k := range freqs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	b := float64(budget)
+	raw := make([]float64, g)
+	var rawSum float64
+	for i, k := range keys {
+		house := b * float64(freqs[k]) / float64(total)
+		senate := b / float64(g)
+		m := house
+		if senate > m {
+			m = senate
+		}
+		// A group can never use more slots than it has tuples.
+		if cap := float64(freqs[k]); m > cap {
+			m = cap
+		}
+		raw[i] = m
+		rawSum += m
+	}
+	// Normalize so the allocation fits the budget, then floor. The
+	// senate terms make rawSum ≥ b whenever total ≥ b, so scaling is
+	// usually downward; capped groups can leave slack, which we keep
+	// (returning less than the budget is always safe).
+	scale := 1.0
+	if rawSum > b {
+		scale = b / rawSum
+	}
+	out := make(map[string]int, g)
+	for i, k := range keys {
+		n := int(raw[i] * scale)
+		if n < 1 && freqs[k] > 0 {
+			n = 1 // senate floor: every group is represented
+		}
+		if int64(n) > freqs[k] {
+			n = int(freqs[k])
+		}
+		out[k] = n
+	}
+	// The +1 floors can overshoot the budget when there are many tiny
+	// groups; trim from the largest allocations (they lose the least
+	// relative precision).
+	sum := 0
+	for _, n := range out {
+		sum += n
+	}
+	if sum > budget {
+		// Sort keys by allocation descending and shave one slot at a
+		// time, never below 1.
+		sort.Slice(keys, func(i, j int) bool { return out[keys[i]] > out[keys[j]] })
+		for sum > budget {
+			shaved := false
+			for _, k := range keys {
+				if out[k] > 1 {
+					out[k]--
+					sum--
+					shaved = true
+					if sum <= budget {
+						break
+					}
+				}
+			}
+			if !shaved {
+				break // all groups at the floor; budget < #groups
+			}
+		}
+	}
+	return out
+}
+
+// StratifiedFromBuffer builds a per-group simple random sample from a
+// fully buffered window in one scan, given the per-group sizes from
+// CongressAllocate. This is the second pass SPEAr defers to watermark
+// arrival (§4.1): the frequencies were accumulated online, so sampling
+// needs only this single scan that the single-buffer design performs
+// anyway for eviction.
+//
+// keys and values must be parallel slices (one entry per tuple). The
+// result maps each group to its sampled values.
+func StratifiedFromBuffer(keys []string, values []float64, alloc map[string]int, seed int64) map[string][]float64 {
+	if len(keys) != len(values) {
+		panic("sample: keys and values length mismatch")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string][]float64, len(alloc))
+	seen := make(map[string]int64, len(alloc))
+	for i, k := range keys {
+		target, ok := alloc[k]
+		if !ok || target == 0 {
+			continue
+		}
+		seen[k]++
+		s := out[k]
+		if len(s) < target {
+			out[k] = append(s, values[i])
+			continue
+		}
+		// Per-group Algorithm R keeps each stratum an s.r.s.
+		if j := rng.Int63n(seen[k]); j < int64(target) {
+			s[j] = values[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package sample
+
+import (
+	"spear/internal/stats"
+)
+
+// GroupStats accumulates, per distinct group, the frequency and the
+// running variance of the aggregated value — the metadata SPEAr keeps in
+// the budget b for grouped operations while a window is active (§4.1:
+// "SPEAr maintains each group's frequency and variance for the value
+// that is used in the stateful operation").
+//
+// The per-group footprint is r + 4 + f bytes in the paper's accounting
+// (group id, frequency counter, variance); MemSize mirrors that.
+type GroupStats struct {
+	groups map[string]*stats.Welford
+	keyMem int // total bytes of group identifiers
+}
+
+// NewGroupStats returns an empty accumulator.
+func NewGroupStats() *GroupStats {
+	return &GroupStats{groups: make(map[string]*stats.Welford)}
+}
+
+// Add folds one (group, value) observation in.
+func (g *GroupStats) Add(key string, value float64) {
+	w, ok := g.groups[key]
+	if !ok {
+		w = &stats.Welford{}
+		g.groups[key] = w
+		g.keyMem += len(key)
+	}
+	w.Add(value)
+}
+
+// Len returns the number of distinct groups observed.
+func (g *GroupStats) Len() int { return len(g.groups) }
+
+// Get returns the accumulator for a group, or nil.
+func (g *GroupStats) Get(key string) *stats.Welford { return g.groups[key] }
+
+// Frequencies returns each group's observation count, the input to
+// congressional allocation.
+func (g *GroupStats) Frequencies() map[string]int64 {
+	out := make(map[string]int64, len(g.groups))
+	for k, w := range g.groups {
+		out[k] = w.Count()
+	}
+	return out
+}
+
+// Each calls fn for every (group, accumulator) pair.
+func (g *GroupStats) Each(fn func(key string, w *stats.Welford)) {
+	for k, w := range g.groups {
+		fn(k, w)
+	}
+}
+
+// Total returns the total number of observations across groups (the
+// window size N).
+func (g *GroupStats) Total() int64 {
+	var n int64
+	for _, w := range g.groups {
+		n += w.Count()
+	}
+	return n
+}
+
+// Reset clears all groups for the next window.
+func (g *GroupStats) Reset() {
+	g.groups = make(map[string]*stats.Welford)
+	g.keyMem = 0
+}
+
+// MemSize returns the approximate footprint in bytes, following the
+// paper's r+4+f per-group accounting plus map overhead.
+func (g *GroupStats) MemSize() int {
+	// Per group: key bytes (r) + 4-byte frequency + 8-byte variance
+	// (f), plus ~48 bytes of map/pointer overhead per entry.
+	return g.keyMem + len(g.groups)*(4+8+48)
+}
+
+// GroupReservoirs maintains one reservoir per group with a fixed
+// per-group capacity. SPEAr uses this when the number of groups is known
+// at CQ submission: the budget is divided equally among groups and the
+// stratified sample is built at tuple arrival, so no second scan is ever
+// needed (§4.1 last paragraph).
+type GroupReservoirs struct {
+	perGroup int
+	seed     int64
+	algo     ReservoirAlgo
+	groups   map[string]*Reservoir
+}
+
+// NewGroupReservoirs returns group reservoirs of perGroup capacity each.
+func NewGroupReservoirs(perGroup int, seed int64, algo ReservoirAlgo) *GroupReservoirs {
+	if perGroup <= 0 {
+		panic("sample: per-group capacity must be positive")
+	}
+	return &GroupReservoirs{
+		perGroup: perGroup,
+		seed:     seed,
+		algo:     algo,
+		groups:   make(map[string]*Reservoir),
+	}
+}
+
+// Add offers one (group, value) observation.
+func (g *GroupReservoirs) Add(key string, value float64) {
+	r, ok := g.groups[key]
+	if !ok {
+		// Derive a per-group seed so groups are independent streams
+		// but the whole structure stays deterministic.
+		seed := g.seed
+		for _, c := range key {
+			seed = seed*31 + int64(c)
+		}
+		r = NewReservoir(g.perGroup, seed, g.algo)
+		g.groups[key] = r
+	}
+	r.Add(value)
+}
+
+// Len returns the number of distinct groups observed.
+func (g *GroupReservoirs) Len() int { return len(g.groups) }
+
+// Get returns the reservoir for a group, or nil.
+func (g *GroupReservoirs) Get(key string) *Reservoir { return g.groups[key] }
+
+// Each calls fn for every (group, reservoir) pair.
+func (g *GroupReservoirs) Each(fn func(key string, r *Reservoir)) {
+	for k, r := range g.groups {
+		fn(k, r)
+	}
+}
+
+// Reset clears all groups for the next window.
+func (g *GroupReservoirs) Reset() {
+	g.groups = make(map[string]*Reservoir)
+}
+
+// MemSize returns the approximate footprint in bytes.
+func (g *GroupReservoirs) MemSize() int {
+	n := 0
+	for k, r := range g.groups {
+		n += len(k) + r.MemSize() + 48
+	}
+	return n
+}

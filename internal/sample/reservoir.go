@@ -1,0 +1,131 @@
+// Package sample implements the online sampling primitives SPEAr uses
+// at tuple arrival: reservoir sampling for scalar operations and
+// congressional (stratified) allocation for grouped operations.
+//
+// All samplers are deterministic given a seed, which keeps experiments
+// reproducible run-to-run.
+package sample
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Reservoir maintains a uniform simple random sample (s.r.s.) of a
+// stream of float64 observations, bounded by a fixed capacity. This is
+// the incremental sample SPEAr stores in the budget b (Alg. 1: put while
+// b has room, stochastically replace afterwards).
+//
+// Two classic algorithms are provided: Vitter's Algorithm R (one random
+// number per arriving item) and Algorithm L (skip-ahead, O(k·(1+log(N/k)))
+// random numbers total). Algorithm L is the default; R is kept for the
+// ablation benchmark.
+type Reservoir struct {
+	cap   int
+	items []float64
+	seen  int64
+	rng   *rand.Rand
+	algo  ReservoirAlgo
+
+	// Algorithm L state.
+	w    float64
+	next int64 // index of the next item to admit
+}
+
+// ReservoirAlgo selects the replacement strategy.
+type ReservoirAlgo uint8
+
+// Supported reservoir algorithms.
+const (
+	// AlgoL is Li's skip-ahead algorithm: after the reservoir fills it
+	// computes how many items to skip before the next replacement, so
+	// the common case at tuple arrival is a counter increment.
+	AlgoL ReservoirAlgo = iota
+	// AlgoR is Vitter's Algorithm R: each arriving item is admitted
+	// with probability cap/seen, costing one random number per item.
+	AlgoR
+)
+
+// NewReservoir returns a reservoir with the given capacity, seed, and
+// algorithm. Capacity must be positive.
+func NewReservoir(capacity int, seed int64, algo ReservoirAlgo) *Reservoir {
+	if capacity <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	r := &Reservoir{
+		cap:  capacity,
+		rng:  rand.New(rand.NewSource(seed)),
+		algo: algo,
+		w:    1,
+	}
+	return r
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, x)
+		if len(r.items) == r.cap && r.algo == AlgoL {
+			r.advanceL()
+		}
+		return
+	}
+	switch r.algo {
+	case AlgoR:
+		// Admit with probability cap/seen.
+		if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+			r.items[j] = x
+		}
+	case AlgoL:
+		if r.seen == r.next { // this item is the chosen one
+			r.items[r.rng.Intn(r.cap)] = x
+			r.advanceL()
+		}
+	}
+}
+
+// advanceL draws the next admission index for Algorithm L.
+func (r *Reservoir) advanceL() {
+	// w ← w · U^(1/k);  skip ← floor(log(U') / log(1−w)).
+	r.w *= math.Exp(math.Log(r.rng.Float64()) / float64(r.cap))
+	skip := math.Floor(math.Log(r.rng.Float64())/math.Log(1-r.w)) + 1
+	if skip < 1 || math.IsInf(skip, 0) || math.IsNaN(skip) {
+		skip = 1
+	}
+	r.next = r.seen + int64(skip)
+}
+
+// Seen returns the number of observations offered so far — the window
+// size N the accuracy estimator needs.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Len returns the current sample size n ≤ cap.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Cap returns the reservoir capacity (the budget b in tuples).
+func (r *Reservoir) Cap() int { return r.cap }
+
+// Items returns the sample contents. The slice aliases internal storage
+// and must not be modified; callers that need to sort copy first.
+func (r *Reservoir) Items() []float64 { return r.items }
+
+// Snapshot returns a copy of the sample safe to sort or mutate.
+func (r *Reservoir) Snapshot() []float64 {
+	out := make([]float64, len(r.items))
+	copy(out, r.items)
+	return out
+}
+
+// Reset clears the reservoir for the next window, keeping capacity,
+// seed stream, and algorithm.
+func (r *Reservoir) Reset() {
+	r.items = r.items[:0]
+	r.seen = 0
+	r.w = 1
+	r.next = 0
+}
+
+// MemSize returns the approximate footprint in bytes: the sample slots
+// plus bookkeeping. Used to charge the worker budget.
+func (r *Reservoir) MemSize() int { return 8*r.cap + 48 }

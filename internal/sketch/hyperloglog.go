@@ -1,0 +1,79 @@
+package sketch
+
+import (
+	"hash/maphash"
+	"math"
+	"math/bits"
+)
+
+// HyperLogLog estimates the number of distinct string keys in a stream
+// using the Flajolet et al. estimator with the empirical small-range
+// correction from Heule et al. (the "HyperLogLog in practice" paper the
+// related-work section cites). Included as a baseline for distinct-group
+// cardinality; SPEAr itself tracks exact group sets inside the budget.
+type HyperLogLog struct {
+	p    uint8 // precision: m = 2^p registers
+	m    int
+	regs []uint8
+	seed maphash.Seed
+}
+
+// NewHyperLogLog returns a sketch with 2^precision registers. Precision
+// must be in [4, 18]; the standard error is ≈ 1.04/√(2^precision).
+func NewHyperLogLog(precision uint8) *HyperLogLog {
+	if precision < 4 || precision > 18 {
+		panic("sketch: hyperloglog precision must be in [4, 18]")
+	}
+	m := 1 << precision
+	return &HyperLogLog{p: precision, m: m, regs: make([]uint8, m), seed: maphash.MakeSeed()}
+}
+
+// Add observes one key.
+func (h *HyperLogLog) Add(key string) {
+	x := maphash.String(h.seed, key)
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // guard bit bounds the rank
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.regs[idx] {
+		h.regs[idx] = rank
+	}
+}
+
+// Estimate returns the cardinality estimate.
+func (h *HyperLogLog) Estimate() float64 {
+	m := float64(h.m)
+	var sum float64
+	zeros := 0
+	for _, r := range h.regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	switch h.m {
+	case 16:
+		alpha = 0.673
+	case 32:
+		alpha = 0.697
+	case 64:
+		alpha = 0.709
+	}
+	est := alpha * m * m / sum
+	// Small-range correction: linear counting while registers are
+	// sparse.
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Reset clears the registers.
+func (h *HyperLogLog) Reset() {
+	for i := range h.regs {
+		h.regs[i] = 0
+	}
+}
+
+// MemSize returns the register array footprint in bytes.
+func (h *HyperLogLog) MemSize() int { return h.m }

@@ -1,0 +1,266 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMinExactOnSparseKeys(t *testing.T) {
+	cm := NewCountMin(1024, 4)
+	cm.Add("a", 5)
+	cm.Add("b", 3)
+	cm.Add("a", 2)
+	if got := cm.Estimate("a"); got < 7 {
+		t.Errorf("Estimate(a) = %v, want ≥ 7", got)
+	}
+	if got := cm.Estimate("b"); got < 3 {
+		t.Errorf("Estimate(b) = %v, want ≥ 3", got)
+	}
+	// With 2 keys in 1024 buckets collisions are overwhelmingly
+	// unlikely, so estimates should be exact.
+	if cm.Estimate("a") != 7 || cm.Estimate("b") != 3 {
+		t.Errorf("sparse estimates inexact: a=%v b=%v", cm.Estimate("a"), cm.Estimate("b"))
+	}
+	if cm.Total() != 10 {
+		t.Errorf("Total = %v", cm.Total())
+	}
+}
+
+// The fundamental CountMin property: estimates never underestimate.
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	for _, conservative := range []bool{false, true} {
+		t.Run(fmt.Sprintf("conservative=%v", conservative), func(t *testing.T) {
+			r := rand.New(rand.NewSource(11))
+			cm := NewCountMin(64, 4) // small: force collisions
+			cm.SetConservative(conservative)
+			truth := map[string]float64{}
+			f := func(kRaw uint8, vRaw uint8) bool {
+				k := fmt.Sprintf("key-%d", kRaw%200)
+				v := float64(vRaw%10) + 0.5
+				cm.Add(k, v)
+				truth[k] += v
+				// Check a random known key each step.
+				for probe := range truth {
+					if r.Intn(4) == 0 {
+						if cm.Estimate(probe) < truth[probe]-1e-9 {
+							return false
+						}
+						break
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestCountMinErrorBound(t *testing.T) {
+	// ε=0.01, δ=0.01 over 100k total increments: per-key error should
+	// be ≤ ε·total = 1000 for the vast majority of keys.
+	cm := NewCountMinWithError(0.01, 0.01)
+	r := rand.New(rand.NewSource(3))
+	truth := map[string]float64{}
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("k%d", int(math.Abs(r.NormFloat64()*300)))
+		cm.Add(k, 1)
+		truth[k]++
+	}
+	bad := 0
+	for k, v := range truth {
+		if cm.Estimate(k)-v > 0.01*cm.Total() {
+			bad++
+		}
+	}
+	if frac := float64(bad) / float64(len(truth)); frac > 0.01 {
+		t.Errorf("%.3f of keys exceed the error bound, want ≤ 0.01", frac)
+	}
+}
+
+func TestCountMinConservativeTightens(t *testing.T) {
+	// Conservative update can only lower estimates, never raise them.
+	plain := NewCountMin(32, 3)
+	cons := NewCountMin(32, 3)
+	// Share seeds so both hash identically.
+	copy(cons.seeds, plain.seeds)
+	cons.SetConservative(true)
+	r := rand.New(rand.NewSource(8))
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	for i := 0; i < 5000; i++ {
+		k := keys[r.Intn(len(keys))]
+		plain.Add(k, 1)
+		cons.Add(k, 1)
+	}
+	for _, k := range keys {
+		if cons.Estimate(k) > plain.Estimate(k)+1e-9 {
+			t.Errorf("conservative estimate for %s higher: %v > %v", k, cons.Estimate(k), plain.Estimate(k))
+		}
+	}
+}
+
+func TestCountMinSizing(t *testing.T) {
+	cm := NewCountMinWithError(0.10, 0.05)
+	if cm.Width() != 28 { // ⌈e/0.1⌉
+		t.Errorf("Width = %d, want 28", cm.Width())
+	}
+	if cm.Depth() != 3 { // ⌈ln 20⌉
+		t.Errorf("Depth = %d, want 3", cm.Depth())
+	}
+	if cm.MemSize() < 28*3*8 {
+		t.Errorf("MemSize = %d", cm.MemSize())
+	}
+	for _, bad := range []func(){
+		func() { NewCountMin(0, 1) },
+		func() { NewCountMinWithError(0, 0.5) },
+		func() { NewCountMinWithError(0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestCountMinReset(t *testing.T) {
+	cm := NewCountMin(16, 2)
+	cm.Add("x", 9)
+	cm.Reset()
+	if cm.Estimate("x") != 0 || cm.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestGroupedMeanSketch(t *testing.T) {
+	g := NewGroupedMeanSketch(0.01, 0.01)
+	truth := map[string][]float64{}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("class-%d", r.Intn(4))
+		v := 10 + r.Float64()*float64(10*(1+len(k)%3))
+		g.Add(k, v)
+		truth[k] = append(truth[k], v)
+	}
+	if g.Groups() != 4 {
+		t.Fatalf("Groups = %d", g.Groups())
+	}
+	res := g.Result()
+	if len(res) != 4 {
+		t.Fatalf("Result has %d groups", len(res))
+	}
+	for k, vs := range truth {
+		var sum float64
+		for _, v := range vs {
+			sum += v
+		}
+		exact := sum / float64(len(vs))
+		if rel := math.Abs(res[k]-exact) / exact; rel > 0.05 {
+			t.Errorf("group %s: est %v vs exact %v (rel %.3f)", k, res[k], exact, rel)
+		}
+	}
+	if g.MemSize() <= 2*NewCountMinWithError(0.01, 0.01).MemSize() {
+		t.Error("MemSize must include the group set")
+	}
+	g.Reset()
+	if g.Groups() != 0 {
+		t.Error("Reset did not clear groups")
+	}
+	if len(g.Result()) != 0 {
+		t.Error("Result after Reset should be empty")
+	}
+	if g.String() == "" {
+		t.Error("String should describe the sketch")
+	}
+}
+
+func TestGroupedMeanSketchZeroCount(t *testing.T) {
+	g := NewGroupedMeanSketch(0.1, 0.1)
+	g.groups["phantom"] = struct{}{} // group never Added
+	if got := g.Result()["phantom"]; got != 0 {
+		t.Errorf("phantom group mean = %v, want 0", got)
+	}
+}
+
+func TestHyperLogLog(t *testing.T) {
+	h := NewHyperLogLog(12) // σ ≈ 1.6%
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Add(fmt.Sprintf("item-%d", i))
+		// Duplicates must not inflate the estimate.
+		if i%3 == 0 {
+			h.Add(fmt.Sprintf("item-%d", i))
+		}
+	}
+	est := h.Estimate()
+	if rel := math.Abs(est-n) / n; rel > 0.05 {
+		t.Errorf("estimate %v vs %d (rel %.3f)", est, n, rel)
+	}
+	h.Reset()
+	if got := h.Estimate(); got > 1 {
+		t.Errorf("post-reset estimate = %v", got)
+	}
+	if h.MemSize() != 4096 {
+		t.Errorf("MemSize = %d", h.MemSize())
+	}
+}
+
+func TestHyperLogLogSmallRange(t *testing.T) {
+	h := NewHyperLogLog(10)
+	for i := 0; i < 20; i++ {
+		h.Add(fmt.Sprintf("x%d", i))
+	}
+	est := h.Estimate()
+	if est < 15 || est > 25 {
+		t.Errorf("small-range estimate = %v, want ≈20", est)
+	}
+}
+
+func TestHyperLogLogBadPrecision(t *testing.T) {
+	for _, p := range []uint8{0, 3, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("precision %d accepted", p)
+				}
+			}()
+			NewHyperLogLog(p)
+		}()
+	}
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	cm := NewCountMinWithError(0.10, 0.05)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("route-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Add(keys[i&255], 1)
+	}
+}
+
+func BenchmarkGroupedMeanSketchAdd(b *testing.B) {
+	g := NewGroupedMeanSketch(0.10, 0.05)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("route-%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(keys[i&255], float64(i&63))
+	}
+}

@@ -1,0 +1,381 @@
+package spe
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"spear/internal/core"
+	"spear/internal/tuple"
+	"spear/internal/watermark"
+)
+
+// MapFunc transforms one tuple into at most one tuple; returning
+// ok=false drops it (filter). This covers the stateless operations of
+// the paper's CQs (e.g. the time-annotation stage of Fig. 1).
+type MapFunc func(tuple.Tuple) (out tuple.Tuple, ok bool)
+
+// ManagerFactory builds the stateful window manager for one worker of
+// the windowed stage. The worker index lets callers derive per-worker
+// seeds, spill keys, and metrics.
+type ManagerFactory func(worker int) (core.Manager, error)
+
+// ResultSink receives every window result. It is invoked from a single
+// goroutine, in per-worker order.
+type ResultSink func(worker int, r core.Result)
+
+// Config configures an engine run.
+type Config struct {
+	// QueueSize bounds each worker's input channel; full queues block
+	// upstream senders (the engine's back-pressure mechanism). Zero
+	// selects 1024.
+	QueueSize int
+	// WatermarkPeriod is the event-time distance between watermarks
+	// emitted by the spout. Zero disables watermark generation (for
+	// count-based windows, which close on arrival).
+	WatermarkPeriod int64
+	// WatermarkLag holds watermarks back to tolerate bounded
+	// out-of-order arrival.
+	WatermarkLag int64
+	// FinalWatermark, when true (the default via NewTopology), emits
+	// a closing watermark at the maximum observed event time so every
+	// complete window fires before shutdown.
+	FinalWatermark bool
+}
+
+type statelessStage struct {
+	name string
+	par  int
+	fn   MapFunc
+}
+
+// Topology is a continuous query's execution DAG: spout → stateless
+// stages → windowed stage → sink.
+type Topology struct {
+	cfg      Config
+	spout    Spout
+	stages   []statelessStage
+	windowed struct {
+		name    string
+		par     int
+		keyBy   tuple.KeyExtractor // nil → shuffle
+		factory ManagerFactory
+	}
+	sink ResultSink
+}
+
+// NewTopology returns an empty topology with cfg (defaults applied).
+func NewTopology(cfg Config) *Topology {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	cfg.FinalWatermark = true
+	return &Topology{cfg: cfg}
+}
+
+// SetSpout sets the input source.
+func (tp *Topology) SetSpout(s Spout) *Topology {
+	tp.spout = s
+	return tp
+}
+
+// AddMap appends a stateless stage with the given parallelism.
+func (tp *Topology) AddMap(name string, parallelism int, fn MapFunc) *Topology {
+	tp.stages = append(tp.stages, statelessStage{name: name, par: parallelism, fn: fn})
+	return tp
+}
+
+// SetWindowed sets the stateful stage. keyBy selects fields partitioning
+// into the stage (grouped operations); nil selects shuffle (scalar
+// operations, each worker aggregating its shard).
+func (tp *Topology) SetWindowed(name string, parallelism int, keyBy tuple.KeyExtractor, factory ManagerFactory) *Topology {
+	tp.windowed.name = name
+	tp.windowed.par = parallelism
+	tp.windowed.keyBy = keyBy
+	tp.windowed.factory = factory
+	return tp
+}
+
+// SetSink sets the result collector.
+func (tp *Topology) SetSink(sink ResultSink) *Topology {
+	tp.sink = sink
+	return tp
+}
+
+func (tp *Topology) validate() error {
+	if tp.spout == nil {
+		return errors.New("spe: topology has no spout")
+	}
+	if tp.windowed.factory == nil {
+		return errors.New("spe: topology has no windowed stage")
+	}
+	if tp.windowed.par <= 0 {
+		return fmt.Errorf("spe: windowed parallelism %d", tp.windowed.par)
+	}
+	for _, s := range tp.stages {
+		if s.par <= 0 {
+			return fmt.Errorf("spe: stage %q parallelism %d", s.name, s.par)
+		}
+		if s.fn == nil {
+			return fmt.Errorf("spe: stage %q has no function", s.name)
+		}
+	}
+	if tp.sink == nil {
+		return errors.New("spe: topology has no sink")
+	}
+	return nil
+}
+
+// errOnce records the first error raised by any worker.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+type sinkItem struct {
+	worker int
+	res    core.Result
+}
+
+// Run executes the topology to completion: the spout is drained, a final
+// watermark fires remaining complete windows, and all results reach the
+// sink before Run returns. The first worker error aborts processing (the
+// pipeline is still drained) and is returned.
+func (tp *Topology) Run() error {
+	if err := tp.validate(); err != nil {
+		return err
+	}
+	var failed errOnce
+
+	// Wire channels: one per worker per stage.
+	mkChans := func(n int) []chan Message {
+		cs := make([]chan Message, n)
+		for i := range cs {
+			cs[i] = make(chan Message, tp.cfg.QueueSize)
+		}
+		return cs
+	}
+	stageIn := make([][]chan Message, len(tp.stages))
+	for i, s := range tp.stages {
+		stageIn[i] = mkChans(s.par)
+	}
+	winIn := mkChans(tp.windowed.par)
+	results := make(chan sinkItem, tp.cfg.QueueSize)
+
+	firstIn := winIn
+	if len(tp.stages) > 0 {
+		firstIn = stageIn[0]
+	}
+	fieldsSeed := maphash.MakeSeed()
+
+	// outPartitioner builds the partitioner a sender uses toward the
+	// windowed stage.
+	winPartitioner := func() Partitioner {
+		if tp.windowed.keyBy != nil {
+			return NewFields(tp.windowed.keyBy, fieldsSeed)
+		}
+		return NewShuffle()
+	}
+
+	// Build every worker's manager before starting any goroutine so a
+	// factory failure cannot leak a half-started pipeline.
+	managers := make([]core.Manager, tp.windowed.par)
+	for wi := range managers {
+		mgr, err := tp.windowed.factory(wi)
+		if err != nil {
+			return fmt.Errorf("spe: windowed worker %d: %w", wi, err)
+		}
+		managers[wi] = mgr
+	}
+
+	var wgSpout, wgSink sync.WaitGroup
+	stageWGs := make([]*sync.WaitGroup, len(tp.stages))
+	var wgWin sync.WaitGroup
+
+	// Spout: route data, generate watermarks, broadcast them.
+	wgSpout.Add(1)
+	go func() {
+		defer wgSpout.Done()
+		defer func() {
+			for _, c := range firstIn {
+				close(c)
+			}
+		}()
+		var part Partitioner
+		if len(tp.stages) > 0 {
+			part = NewShuffle()
+		} else {
+			part = winPartitioner()
+		}
+		var gen *watermark.Generator
+		if tp.cfg.WatermarkPeriod > 0 {
+			gen = watermark.NewGenerator(tp.cfg.WatermarkPeriod, tp.cfg.WatermarkLag)
+		}
+		seen := false
+		for {
+			t, ok := tp.spout.Next()
+			if !ok {
+				break
+			}
+			if failed.get() != nil {
+				continue // drain the spout but stop feeding
+			}
+			seen = true
+			if gen != nil {
+				if wm, emit := gen.Observe(t.Ts); emit {
+					for _, c := range firstIn {
+						c <- Message{IsWM: true, WM: wm, Sender: 0}
+					}
+				}
+			}
+			firstIn[part.Route(t, len(firstIn))] <- Message{Tuple: t}
+		}
+		// At end of a bounded stream every tuple has been observed,
+		// so a +∞ closing watermark fires every window holding data
+		// (the semantics Flink gives bounded inputs). Managers clamp
+		// their fire range to windows that received tuples.
+		if tp.cfg.FinalWatermark && seen && tp.cfg.WatermarkPeriod > 0 && failed.get() == nil {
+			for _, c := range firstIn {
+				c <- Message{IsWM: true, WM: int64(^uint64(0) >> 1), Sender: 0}
+			}
+		}
+	}()
+
+	// Stateless stages.
+	for si, s := range tp.stages {
+		nextIn := winIn
+		if si+1 < len(tp.stages) {
+			nextIn = stageIn[si+1]
+		}
+		lastStage := si+1 >= len(tp.stages)
+		senders := 1 // the spout
+		if si > 0 {
+			senders = tp.stages[si-1].par
+		}
+		wg := &sync.WaitGroup{}
+		stageWGs[si] = wg
+		for wi := 0; wi < s.par; wi++ {
+			wg.Add(1)
+			go func(si, wi int, in chan Message, fn MapFunc) {
+				defer wg.Done()
+				var part Partitioner
+				if lastStage {
+					part = winPartitioner()
+				} else {
+					part = NewShuffle()
+				}
+				tracker := watermark.NewTracker(senders)
+				for msg := range in {
+					if msg.IsWM {
+						if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
+							for _, c := range nextIn {
+								c <- Message{IsWM: true, WM: wm, Sender: wi}
+							}
+						}
+						continue
+					}
+					if failed.get() != nil {
+						continue
+					}
+					if out, ok := fn(msg.Tuple); ok {
+						nextIn[part.Route(out, len(nextIn))] <- Message{Tuple: out}
+					}
+				}
+			}(si, wi, stageIn[si][wi], s.fn)
+		}
+		// Close the next stage's channels when this stage finishes.
+		go func(wg *sync.WaitGroup, nextIn []chan Message, prev func()) {
+			prev() // wait for upstream to close our inputs first
+			wg.Wait()
+			for _, c := range nextIn {
+				close(c)
+			}
+		}(wg, nextIn, waiterFor(si, &wgSpout, stageWGs))
+	}
+
+	// Windowed workers.
+	winSenders := 1
+	if len(tp.stages) > 0 {
+		winSenders = tp.stages[len(tp.stages)-1].par
+	}
+	for wi := 0; wi < tp.windowed.par; wi++ {
+		mgr := managers[wi]
+		wgWin.Add(1)
+		go func(wi int, in chan Message, mgr core.Manager) {
+			defer wgWin.Done()
+			tracker := watermark.NewTracker(winSenders)
+			for msg := range in {
+				if failed.get() != nil {
+					continue
+				}
+				var rs []core.Result
+				var err error
+				if msg.IsWM {
+					if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
+						rs, err = mgr.OnWatermark(wm)
+					}
+				} else {
+					rs, err = mgr.OnTuple(msg.Tuple)
+				}
+				if err != nil {
+					failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+					continue
+				}
+				for _, r := range rs {
+					results <- sinkItem{worker: wi, res: r}
+				}
+			}
+		}(wi, winIn[wi], mgr)
+	}
+
+	// Sink.
+	wgSink.Add(1)
+	go func() {
+		defer wgSink.Done()
+		for item := range results {
+			tp.sink(item.worker, item.res)
+		}
+	}()
+
+	wgSpout.Wait()
+	for _, wg := range stageWGs {
+		wg.Wait()
+	}
+	wgWin.Wait()
+	close(results)
+	wgSink.Wait()
+	return failed.get()
+}
+
+// waiterFor returns a function that blocks until stage si's inputs are
+// closed: the spout for stage 0, the previous stage otherwise. Channel
+// closure cascades through these waiters.
+func waiterFor(si int, spout *sync.WaitGroup, stageWGs []*sync.WaitGroup) func() {
+	if si == 0 {
+		return spout.Wait
+	}
+	prev := stageWGs[si-1]
+	return func() {
+		if prev != nil {
+			prev.Wait()
+		}
+	}
+}

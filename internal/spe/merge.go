@@ -1,0 +1,73 @@
+package spe
+
+import (
+	"container/heap"
+
+	"spear/internal/tuple"
+)
+
+// MergeSpouts combines several event-time-ordered sources into one
+// source ordered by event time — the engine-side form of a CQ with
+// multiple input streams S_1..S_N (§2: "A CQ can have one or more input
+// streams"). The merge is a streaming k-way merge: it holds one
+// buffered tuple per source, so memory is O(k).
+//
+// Each input must itself be non-decreasing in Ts; the output then is
+// too, which keeps the downstream watermark generator safe. Sources
+// with disordered output should be wrapped in a lag-aware setup
+// instead (Config.WatermarkLag).
+func MergeSpouts(spouts ...Spout) Spout {
+	switch len(spouts) {
+	case 0:
+		return NewSliceSpout(nil)
+	case 1:
+		return spouts[0]
+	}
+	m := &mergeSpout{}
+	for i, s := range spouts {
+		if t, ok := s.Next(); ok {
+			m.heads = append(m.heads, mergeHead{t: t, src: s, idx: i})
+		}
+	}
+	heap.Init(&m.heads)
+	return m
+}
+
+type mergeHead struct {
+	t   tuple.Tuple
+	src Spout
+	idx int // original position, for a stable tie order
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].t.Ts != h[j].t.Ts {
+		return h[i].t.Ts < h[j].t.Ts
+	}
+	return h[i].idx < h[j].idx
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type mergeSpout struct {
+	heads mergeHeap
+}
+
+// Next implements Spout.
+func (m *mergeSpout) Next() (tuple.Tuple, bool) {
+	if len(m.heads) == 0 {
+		return tuple.Tuple{}, false
+	}
+	head := m.heads[0]
+	out := head.t
+	if t, ok := head.src.Next(); ok {
+		m.heads[0].t = t
+		heap.Fix(&m.heads, 0)
+	} else {
+		heap.Pop(&m.heads)
+	}
+	return out, true
+}

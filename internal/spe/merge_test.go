@@ -1,0 +1,142 @@
+package spe
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spear/internal/agg"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+func drain(s Spout) []int64 {
+	var out []int64
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t.Ts)
+	}
+}
+
+func seq(vals ...int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = tuple.New(v, tuple.Int(v))
+	}
+	return out
+}
+
+func TestMergeSpoutsBasic(t *testing.T) {
+	m := MergeSpouts(
+		NewSliceSpout(seq(1, 4, 9)),
+		NewSliceSpout(seq(2, 3, 10)),
+		NewSliceSpout(seq(5)),
+	)
+	got := drain(m)
+	want := []int64{1, 2, 3, 4, 5, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeSpoutsDegenerate(t *testing.T) {
+	if got := drain(MergeSpouts()); got != nil {
+		t.Errorf("empty merge = %v", got)
+	}
+	// A single spout is passed through unwrapped.
+	s := NewSliceSpout(seq(7))
+	if MergeSpouts(s) != Spout(s) {
+		t.Error("single spout should pass through")
+	}
+	// Empty inputs are fine.
+	got := drain(MergeSpouts(NewSliceSpout(nil), NewSliceSpout(seq(1)), NewSliceSpout(nil)))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMergeSpoutsTiesAreStable(t *testing.T) {
+	a := []tuple.Tuple{tuple.New(5, tuple.String_("a"))}
+	b := []tuple.Tuple{tuple.New(5, tuple.String_("b"))}
+	m := MergeSpouts(NewSliceSpout(a), NewSliceSpout(b))
+	t1, _ := m.Next()
+	t2, _ := m.Next()
+	if t1.Vals[0].AsString() != "a" || t2.Vals[0].AsString() != "b" {
+		t.Errorf("tie order not stable: %v %v", t1, t2)
+	}
+}
+
+// Property: merging sorted streams yields a sorted stream containing
+// exactly the union of elements.
+func TestMergeSpoutsProperty(t *testing.T) {
+	f := func(lens [3]uint8, seed int64) bool {
+		var spouts []Spout
+		var total int
+		x := seed
+		for _, l := range lens {
+			n := int(l % 50)
+			total += n
+			vals := make([]int64, n)
+			cur := int64(0)
+			for i := range vals {
+				x = x*6364136223846793005 + 1442695040888963407
+				cur += (x%7 + 7) % 7
+				vals[i] = cur
+			}
+			spouts = append(spouts, NewSliceSpout(seq(vals...)))
+		}
+		got := drain(MergeSpouts(spouts...))
+		if len(got) != total {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func aggMean() agg.Func { return agg.Func{Op: agg.Sum} }
+
+func windowTumbling50() window.Spec {
+	return window.Spec{Domain: window.TimeDomain, Range: 50, Slide: 50}
+}
+
+func TestMergeSpoutsEndToEnd(t *testing.T) {
+	// Two sensor streams merged into one CQ: the window must see the
+	// union of both.
+	a := make([]tuple.Tuple, 0, 100)
+	b := make([]tuple.Tuple, 0, 100)
+	for i := int64(0); i < 100; i++ {
+		a = append(a, tuple.New(i*2, tuple.Float(1)))   // evens
+		b = append(b, tuple.New(i*2+1, tuple.Float(1))) // odds
+	}
+	sink := &collectSink{}
+	tp := NewTopology(Config{WatermarkPeriod: 50}).
+		SetSpout(MergeSpouts(NewSliceSpout(a), NewSliceSpout(b))).
+		SetWindowed("sum", 1, nil, scalarFactory(aggMean(), windowTumbling50(), 10)).
+		SetSink(sink.sink)
+	if err := tp.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.res) != 4 {
+		t.Fatalf("%d windows", len(sink.res))
+	}
+	for _, r := range sink.res {
+		if r.N != 50 {
+			t.Errorf("window [%d,%d) N = %d, want 50 (both streams)", r.Start, r.End, r.N)
+		}
+	}
+}

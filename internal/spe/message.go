@@ -1,0 +1,76 @@
+// Package spe is the stream processing engine substrate: a Storm-like
+// operator runtime executing a continuous query's DAG with one goroutine
+// per worker thread, bounded channels for back-pressure, shuffle/fields
+// partitioning between stages, and in-band watermark control tuples.
+//
+// A topology has the shape the paper evaluates (Fig. 2): a single spout
+// reading the input stream, optional stateless stages, one windowed
+// stateful stage with configurable parallelism, and a sink collecting
+// window results.
+package spe
+
+import (
+	"hash/maphash"
+
+	"spear/internal/tuple"
+)
+
+// Message is the unit of transfer between workers: either a data tuple
+// or a watermark control tuple (§2: "control-tuples carrying a
+// timestamp ... sent by SPE components periodically").
+type Message struct {
+	Tuple  tuple.Tuple
+	WM     int64
+	Sender int // upstream worker index, for watermark min-merging
+	IsWM   bool
+}
+
+// Partitioner decides which of n downstream workers receives a tuple —
+// the "propagation of tuples between execution stages ... using
+// partitioning techniques" of §2. Partitioners are per-sender (not
+// shared), so they need no locking.
+type Partitioner interface {
+	Route(t tuple.Tuple, n int) int
+}
+
+// Shuffle distributes tuples round-robin, the default for scalar
+// operations where any worker may process any tuple.
+type Shuffle struct{ next int }
+
+// NewShuffle returns a round-robin partitioner.
+func NewShuffle() *Shuffle { return &Shuffle{} }
+
+// Route implements Partitioner.
+func (s *Shuffle) Route(_ tuple.Tuple, n int) int {
+	i := s.next % n
+	s.next++
+	return i
+}
+
+// Fields routes tuples by hashing a grouping key, so all tuples of a
+// group meet at the same worker — required by grouped stateful
+// operations.
+type Fields struct {
+	key  tuple.KeyExtractor
+	seed maphash.Seed
+}
+
+// NewFields returns a hash partitioner over key. All senders of a stage
+// must share the same seed; construct once and reuse.
+func NewFields(key tuple.KeyExtractor, seed maphash.Seed) *Fields {
+	if key == nil {
+		panic("spe: Fields partitioner needs a key extractor")
+	}
+	return &Fields{key: key, seed: seed}
+}
+
+// Route implements Partitioner.
+func (f *Fields) Route(t tuple.Tuple, n int) int {
+	return int(maphash.String(f.seed, f.key(t)) % uint64(n))
+}
+
+// Global routes everything to worker 0 — used for single-worker sinks.
+type Global struct{}
+
+// Route implements Partitioner.
+func (Global) Route(tuple.Tuple, int) int { return 0 }

@@ -1,0 +1,92 @@
+package spe
+
+import (
+	"math/rand"
+
+	"spear/internal/tuple"
+)
+
+// Spout produces the input stream. Implementations are consumed by a
+// single goroutine and need no locking.
+type Spout interface {
+	// Next returns the next tuple; ok=false ends the stream.
+	Next() (t tuple.Tuple, ok bool)
+}
+
+// SliceSpout replays an in-memory stream — the paper's "single source
+// operator that reads data sequentially from a memory-mapped file".
+type SliceSpout struct {
+	tuples []tuple.Tuple
+	pos    int
+}
+
+// NewSliceSpout returns a spout over ts.
+func NewSliceSpout(ts []tuple.Tuple) *SliceSpout { return &SliceSpout{tuples: ts} }
+
+// Next implements Spout.
+func (s *SliceSpout) Next() (tuple.Tuple, bool) {
+	if s.pos >= len(s.tuples) {
+		return tuple.Tuple{}, false
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// FuncSpout adapts a generator function to the Spout interface, letting
+// dataset generators stream without materializing everything.
+type FuncSpout func() (tuple.Tuple, bool)
+
+// Next implements Spout.
+func (f FuncSpout) Next() (tuple.Tuple, bool) { return f() }
+
+// DisorderSpout perturbs another spout's emission order within a bounded
+// horizon, for exercising watermark lag and late-tuple handling. Event
+// timestamps are unchanged; only arrival order shifts, and a tuple is
+// displaced by strictly less than horizon positions (block shuffle), so
+// a watermark lag covering the horizon guarantees no late drops.
+type DisorderSpout struct {
+	inner   Spout
+	horizon int
+	rng     *rand.Rand
+	block   []tuple.Tuple
+	pos     int
+	done    bool
+}
+
+// NewDisorderSpout wraps inner, shuffling within consecutive blocks of
+// horizon tuples using the seeded rng.
+func NewDisorderSpout(inner Spout, horizon int, seed int64) *DisorderSpout {
+	if horizon < 1 {
+		panic("spe: disorder horizon must be ≥ 1")
+	}
+	return &DisorderSpout{inner: inner, horizon: horizon, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Spout.
+func (d *DisorderSpout) Next() (tuple.Tuple, bool) {
+	if d.pos >= len(d.block) {
+		if d.done {
+			return tuple.Tuple{}, false
+		}
+		d.block = d.block[:0]
+		d.pos = 0
+		for len(d.block) < d.horizon {
+			t, ok := d.inner.Next()
+			if !ok {
+				d.done = true
+				break
+			}
+			d.block = append(d.block, t)
+		}
+		if len(d.block) == 0 {
+			return tuple.Tuple{}, false
+		}
+		d.rng.Shuffle(len(d.block), func(i, j int) {
+			d.block[i], d.block[j] = d.block[j], d.block[i]
+		})
+	}
+	t := d.block[d.pos]
+	d.pos++
+	return t, true
+}

@@ -1,0 +1,108 @@
+// Package stats provides the statistical machinery behind SPEAr's
+// accuracy estimation: running moments (Welford), normal-distribution
+// helpers, finite-population-corrected confidence intervals, and the
+// sample-size bound for approximate quantiles.
+package stats
+
+import "math"
+
+// Welford accumulates count, mean, and variance of a value stream in a
+// single pass using Welford's numerically stable recurrence. It is the
+// "statistical information on the data distribution" SPEAr maintains in
+// the budget b at tuple arrival (paper §4.1): a fixed, tiny footprint
+// regardless of window size.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+	w.sum += x
+}
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// variance formula). Useful when worker-local statistics are combined.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	delta := o.mean - w.mean
+	total := w.n + o.n
+	w.mean += delta * float64(o.n) / float64(total)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(total)
+	w.n = total
+	w.sum += o.sum
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+}
+
+// Reset returns the accumulator to its zero state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Count returns the number of observations.
+func (w *Welford) Count() int64 { return w.n }
+
+// Sum returns the running sum of observations.
+func (w *Welford) Sum() float64 { return w.sum }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0
+// for fewer than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// PopVariance returns the population variance (n denominator).
+func (w *Welford) PopVariance() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// MemSize returns the in-memory footprint of the accumulator in bytes.
+// The paper charges the budget b for the statistics it keeps ("...the
+// total number of values stored in b is reduced by 2 because SPEAr
+// maintains fare values' variance and the size of S_w").
+func (w *Welford) MemSize() int { return 6 * 8 }

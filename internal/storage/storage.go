@@ -1,0 +1,313 @@
+// Package storage models the secondary storage S the paper's workers
+// spill to when a window does not fit in the memory budget b (§2: "S is
+// independent of workers' contexts, is globally accessible (e.g., S3),
+// and offers two methods: store(τ_w) and get(τ_w)").
+//
+// Three implementations are provided: an in-memory store (tests), a
+// file-backed store (durability), and a latency wrapper that injects the
+// per-operation delay of a remote object store so experiments feel the
+// cost of spilling the way the paper's deployment does.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"spear/internal/tuple"
+)
+
+// ErrNotFound is returned by Get for an unknown segment key.
+var ErrNotFound = errors.New("storage: segment not found")
+
+// SpillStore is the secondary storage interface. Keys identify spilled
+// window segments; each worker namespaces its own keys. Implementations
+// must be safe for concurrent use by multiple workers.
+type SpillStore interface {
+	// Store persists a batch of tuples under key, appending to any
+	// batch already stored there (a worker spills a window in chunks
+	// as its buffer overflows).
+	Store(key string, ts []tuple.Tuple) error
+	// Get retrieves every tuple stored under key, in store order.
+	Get(key string) ([]tuple.Tuple, error)
+	// Delete drops a segment. Deleting a missing key is a no-op: the
+	// evict path runs for every window whether or not it spilled.
+	Delete(key string) error
+	// Stats reports cumulative operation counts and bytes moved.
+	Stats() Stats
+}
+
+// Stats counts traffic to the store.
+type Stats struct {
+	Stores, Gets, Deletes int64
+	BytesStored           int64
+	BytesFetched          int64
+	TuplesStored          int64
+	TuplesFetched         int64
+}
+
+// MemStore is an in-memory SpillStore. It keeps the encoded form so its
+// cost model (encode on store, decode on get) matches the file store.
+type MemStore struct {
+	mu    sync.Mutex
+	segs  map[string][][]byte
+	stats Stats
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{segs: make(map[string][][]byte)}
+}
+
+// Store implements SpillStore.
+func (m *MemStore) Store(key string, ts []tuple.Tuple) error {
+	enc := tuple.EncodeBatch(ts)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.segs[key] = append(m.segs[key], enc)
+	m.stats.Stores++
+	m.stats.BytesStored += int64(len(enc))
+	m.stats.TuplesStored += int64(len(ts))
+	return nil
+}
+
+// Get implements SpillStore.
+func (m *MemStore) Get(key string) ([]tuple.Tuple, error) {
+	m.mu.Lock()
+	chunks, ok := m.segs[key]
+	m.stats.Gets++
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	var out []tuple.Tuple
+	var bytes int64
+	for _, c := range chunks {
+		ts, err := tuple.DecodeBatch(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+		bytes += int64(len(c))
+	}
+	m.mu.Lock()
+	m.stats.BytesFetched += bytes
+	m.stats.TuplesFetched += int64(len(out))
+	m.mu.Unlock()
+	return out, nil
+}
+
+// Delete implements SpillStore.
+func (m *MemStore) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.segs, key)
+	m.stats.Deletes++
+	return nil
+}
+
+// Stats implements SpillStore.
+func (m *MemStore) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Keys returns the stored segment keys, sorted; used by tests.
+func (m *MemStore) Keys() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.segs))
+	for k := range m.segs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FileStore is a SpillStore writing one file per segment under a
+// directory, mirroring how a worker would use local disk or a mounted
+// object store.
+type FileStore struct {
+	dir   string
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewFileStore returns a store rooted at dir, creating it if needed.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (f *FileStore) path(key string) string {
+	// Keys are engine-generated (worker id + window id), but sanitize
+	// path separators defensively.
+	safe := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c == '/' || c == '\\' || c == 0 {
+			c = '_'
+		}
+		safe = append(safe, c)
+	}
+	return filepath.Join(f.dir, string(safe)+".seg")
+}
+
+// Store implements SpillStore. Chunks are appended with a length-framed
+// batch encoding.
+func (f *FileStore) Store(key string, ts []tuple.Tuple) error {
+	enc := tuple.EncodeBatch(ts)
+	framed := make([]byte, 0, len(enc)+8)
+	framed = appendUint64(framed, uint64(len(enc)))
+	framed = append(framed, enc...)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fh, err := os.OpenFile(f.path(key), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: open segment: %w", err)
+	}
+	defer fh.Close()
+	if _, err := fh.Write(framed); err != nil {
+		return fmt.Errorf("storage: write segment: %w", err)
+	}
+	f.stats.Stores++
+	f.stats.BytesStored += int64(len(enc))
+	f.stats.TuplesStored += int64(len(ts))
+	return nil
+}
+
+// Get implements SpillStore.
+func (f *FileStore) Get(key string) ([]tuple.Tuple, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, err := os.ReadFile(f.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("storage: read segment: %w", err)
+	}
+	var out []tuple.Tuple
+	pos := 0
+	for pos < len(data) {
+		if pos+8 > len(data) {
+			return nil, tuple.ErrCorrupt
+		}
+		n := int(readUint64(data[pos:]))
+		pos += 8
+		if pos+n > len(data) {
+			return nil, tuple.ErrCorrupt
+		}
+		ts, err := tuple.DecodeBatch(data[pos : pos+n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+		pos += n
+	}
+	f.stats.Gets++
+	f.stats.BytesFetched += int64(len(data))
+	f.stats.TuplesFetched += int64(len(out))
+	return out, nil
+}
+
+// Delete implements SpillStore.
+func (f *FileStore) Delete(key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	err := os.Remove(f.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: delete segment: %w", err)
+	}
+	f.stats.Deletes++
+	return nil
+}
+
+// Stats implements SpillStore.
+func (f *FileStore) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func readUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// LatencyStore wraps a SpillStore and injects a fixed per-operation
+// latency plus a per-byte transfer cost, modeling a remote object store.
+// Clock is injectable so unit tests do not sleep.
+type LatencyStore struct {
+	inner      SpillStore
+	perOp      time.Duration
+	perKB      time.Duration
+	sleep      func(time.Duration)
+	mu         sync.Mutex
+	totalDelay time.Duration
+}
+
+// NewLatencyStore wraps inner with perOp latency per call and perKB per
+// kilobyte moved. A nil sleep uses time.Sleep.
+func NewLatencyStore(inner SpillStore, perOp, perKB time.Duration, sleep func(time.Duration)) *LatencyStore {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &LatencyStore{inner: inner, perOp: perOp, perKB: perKB, sleep: sleep}
+}
+
+func (l *LatencyStore) delay(bytes int64) {
+	d := l.perOp + time.Duration(bytes/1024)*l.perKB
+	l.mu.Lock()
+	l.totalDelay += d
+	l.mu.Unlock()
+	if d > 0 {
+		l.sleep(d)
+	}
+}
+
+// TotalDelay reports the cumulative injected latency.
+func (l *LatencyStore) TotalDelay() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalDelay
+}
+
+// Store implements SpillStore.
+func (l *LatencyStore) Store(key string, ts []tuple.Tuple) error {
+	before := l.inner.Stats().BytesStored
+	err := l.inner.Store(key, ts)
+	l.delay(l.inner.Stats().BytesStored - before)
+	return err
+}
+
+// Get implements SpillStore.
+func (l *LatencyStore) Get(key string) ([]tuple.Tuple, error) {
+	before := l.inner.Stats().BytesFetched
+	ts, err := l.inner.Get(key)
+	l.delay(l.inner.Stats().BytesFetched - before)
+	return ts, err
+}
+
+// Delete implements SpillStore.
+func (l *LatencyStore) Delete(key string) error {
+	l.delay(0)
+	return l.inner.Delete(key)
+}
+
+// Stats implements SpillStore.
+func (l *LatencyStore) Stats() Stats { return l.inner.Stats() }

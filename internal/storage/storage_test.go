@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"spear/internal/tuple"
+)
+
+func mkTuples(n int, base int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.New(base+int64(i), tuple.String_("k"), tuple.Float(float64(i)))
+	}
+	return out
+}
+
+func testStore(t *testing.T, s SpillStore) {
+	t.Helper()
+
+	// Missing key.
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+
+	// Store + Get round trip.
+	in := mkTuples(10, 100)
+	if err := s.Store("w1", in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d tuples", len(got))
+	}
+	for i := range in {
+		if got[i].Ts != in[i].Ts || !got[i].Vals[1].Equal(in[i].Vals[1]) {
+			t.Fatalf("tuple %d mismatch: %v vs %v", i, got[i], in[i])
+		}
+	}
+
+	// Append semantics: a second Store on the same key extends it.
+	if err := s.Store("w1", mkTuples(5, 200)); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("after append got %d tuples, want 15", len(got))
+	}
+	if got[10].Ts != 200 {
+		t.Fatalf("appended chunk out of order: ts=%d", got[10].Ts)
+	}
+
+	// Delete, including of a missing key.
+	if err := s.Delete("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("w1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("segment survived Delete")
+	}
+	if err := s.Delete("never-existed"); err != nil {
+		t.Fatalf("Delete(missing) = %v, want nil", err)
+	}
+
+	// Stats moved.
+	st := s.Stats()
+	if st.Stores != 2 || st.Gets < 2 || st.Deletes != 2 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.BytesStored <= 0 || st.TuplesStored != 15 {
+		t.Errorf("byte accounting: %+v", st)
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, fs)
+}
+
+func TestMemStoreKeys(t *testing.T) {
+	m := NewMemStore()
+	m.Store("b", mkTuples(1, 0))
+	m.Store("a", mkTuples(1, 0))
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestFileStoreSanitizesKeys(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "worker/1\\win:5"
+	if err := fs.Store(key, mkTuples(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(key)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Get = %d tuples, err %v", len(got), err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w))
+			for i := 0; i < 50; i++ {
+				if err := s.Store(key, mkTuples(4, int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			got, err := s.Get(key)
+			if err != nil || len(got) != 200 {
+				t.Errorf("worker %d: %d tuples, err %v", w, len(got), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.TuplesStored != 8*200 {
+		t.Errorf("TuplesStored = %d", st.TuplesStored)
+	}
+}
+
+func TestLatencyStoreInjectsDelay(t *testing.T) {
+	var slept time.Duration
+	fake := func(d time.Duration) { slept += d }
+	ls := NewLatencyStore(NewMemStore(), 10*time.Millisecond, time.Millisecond, fake)
+
+	// ~8KB of tuples: 10ms per op + ~Nms transfer.
+	big := mkTuples(300, 0)
+	if err := ls.Store("k", big); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 10*time.Millisecond {
+		t.Errorf("slept %v, want ≥ perOp", slept)
+	}
+	storeSlept := slept
+	if _, err := ls.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if slept <= storeSlept {
+		t.Error("Get should add delay")
+	}
+	if ls.TotalDelay() != slept {
+		t.Errorf("TotalDelay %v != slept %v", ls.TotalDelay(), slept)
+	}
+	if err := ls.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Stats().Deletes != 1 {
+		t.Error("stats should pass through")
+	}
+}
+
+func TestLatencyStorePropagatesErrors(t *testing.T) {
+	ls := NewLatencyStore(NewMemStore(), 0, 0, func(time.Duration) {})
+	if _, err := ls.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func BenchmarkMemStoreRoundtrip(b *testing.B) {
+	s := NewMemStore()
+	ts := mkTuples(1000, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Store("k", ts)
+		if _, err := s.Get("k"); err != nil {
+			b.Fatal(err)
+		}
+		s.Delete("k")
+	}
+}

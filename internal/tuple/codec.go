@@ -1,0 +1,139 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The binary codec serializes tuples for the spill store. The format is
+// self-describing per tuple so windows can be read back without the
+// schema:
+//
+//	ts      int64  (little endian)
+//	nvals   uvarint
+//	per value:
+//	  kind  byte
+//	  int/bool/float: 8 bytes LE payload
+//	  string:         uvarint length + bytes
+//
+// The codec favors simplicity and allocation-free appends over maximal
+// compactness; spill IO cost is dominated by the simulated storage
+// latency, not encoding.
+
+// ErrCorrupt is returned when decoding runs into malformed bytes.
+var ErrCorrupt = errors.New("tuple: corrupt encoding")
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// AppendEncode appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendEncode(dst []byte, t Tuple) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Ts))
+	dst = binary.AppendUvarint(dst, uint64(len(t.Vals)))
+	for _, v := range t.Vals {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+			dst = append(dst, v.str...)
+		default:
+			dst = binary.LittleEndian.AppendUint64(dst, v.num)
+		}
+	}
+	return dst
+}
+
+// Decode reads one tuple from b and returns it together with the number
+// of bytes consumed.
+func Decode(b []byte) (Tuple, int, error) {
+	if len(b) < 8 {
+		return Tuple{}, 0, ErrCorrupt
+	}
+	t := Tuple{Ts: int64(binary.LittleEndian.Uint64(b))}
+	pos := 8
+	n, sz := binary.Uvarint(b[pos:])
+	if sz <= 0 {
+		return Tuple{}, 0, ErrCorrupt
+	}
+	pos += sz
+	if n > uint64(len(b)) { // cheap sanity bound before allocating
+		return Tuple{}, 0, ErrCorrupt
+	}
+	if n > 0 {
+		t.Vals = make([]Value, 0, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(b) {
+			return Tuple{}, 0, ErrCorrupt
+		}
+		kind := Kind(b[pos])
+		pos++
+		switch kind {
+		case KindInt, KindFloat, KindBool:
+			if pos+8 > len(b) {
+				return Tuple{}, 0, ErrCorrupt
+			}
+			t.Vals = append(t.Vals, Value{kind: kind, num: binary.LittleEndian.Uint64(b[pos:])})
+			pos += 8
+		case KindString:
+			l, sz := binary.Uvarint(b[pos:])
+			if sz <= 0 {
+				return Tuple{}, 0, ErrCorrupt
+			}
+			pos += sz
+			if uint64(pos)+l > uint64(len(b)) {
+				return Tuple{}, 0, ErrCorrupt
+			}
+			t.Vals = append(t.Vals, Value{kind: KindString, str: string(b[pos : pos+int(l)])})
+			pos += int(l)
+		default:
+			return Tuple{}, 0, fmt.Errorf("%w: kind byte %d", ErrCorrupt, kind)
+		}
+	}
+	return t, pos, nil
+}
+
+// EncodeBatch encodes a slice of tuples into one contiguous buffer,
+// prefixed by a uvarint count. This is the on-store format for a spilled
+// window segment.
+func EncodeBatch(ts []Tuple) []byte {
+	// Rough pre-size: 16 bytes per tuple plus value payloads.
+	size := 10
+	for _, t := range ts {
+		size += 16 + 9*len(t.Vals)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(ts)))
+	for _, t := range ts {
+		buf = AppendEncode(buf, t)
+	}
+	return buf
+}
+
+// DecodeBatch decodes a buffer produced by EncodeBatch.
+func DecodeBatch(b []byte) ([]Tuple, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	pos := sz
+	if n > uint64(len(b)) {
+		return nil, ErrCorrupt
+	}
+	out := make([]Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t, used, err := Decode(b[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += used
+		out = append(out, t)
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-pos)
+	}
+	return out, nil
+}

@@ -1,0 +1,287 @@
+package tuple
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{"int", Int(-42), KindInt, "-42"},
+		{"float", Float(3.5), KindFloat, "3.5"},
+		{"string", String_("abc"), KindString, `"abc"`},
+		{"bool", Bool(true), KindBool, "true"},
+		{"zero", Value{}, KindInvalid, "<invalid>"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.v.Kind(); got != tc.kind {
+				t.Errorf("Kind() = %v, want %v", got, tc.kind)
+			}
+			if got := tc.v.String(); got != tc.str {
+				t.Errorf("String() = %q, want %q", got, tc.str)
+			}
+		})
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if got := Int(7).AsInt(); got != 7 {
+		t.Errorf("AsInt = %d, want 7", got)
+	}
+	if got := Float(2.25).AsFloat(); got != 2.25 {
+		t.Errorf("AsFloat = %v, want 2.25", got)
+	}
+	if got := Int(3).AsFloat(); got != 3 {
+		t.Errorf("int AsFloat = %v, want 3", got)
+	}
+	if got := String_("x").AsString(); got != "x" {
+		t.Errorf("AsString = %q, want x", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool roundtrip failed")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	tests := []struct {
+		name string
+		fn   func()
+	}{
+		{"AsInt on float", func() { Float(1).AsInt() }},
+		{"AsFloat on string", func() { String_("a").AsFloat() }},
+		{"AsString on int", func() { Int(1).AsString() }},
+		{"AsBool on int", func() { Int(1).AsBool() }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) {
+		t.Error("equal ints not Equal")
+	}
+	if Int(5).Equal(Float(5)) {
+		t.Error("int 5 should not equal float 5")
+	}
+	if !Float(math.Inf(1)).Equal(Float(math.Inf(1))) {
+		t.Error("inf should equal inf")
+	}
+	if !String_("a").Equal(String_("a")) || String_("a").Equal(String_("b")) {
+		t.Error("string equality broken")
+	}
+}
+
+func TestNegativeFloatRoundtrip(t *testing.T) {
+	for _, f := range []float64{-1.5, 0, math.MaxFloat64, math.SmallestNonzeroFloat64, math.Inf(-1)} {
+		if got := Float(f).AsFloat(); got != f {
+			t.Errorf("Float(%v).AsFloat() = %v", f, got)
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := NewSchema(
+		Field{Name: "time", Kind: KindInt},
+		Field{Name: "route", Kind: KindString},
+		Field{Name: "fare", Kind: KindFloat},
+	)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if s.IndexOf("fare") != 2 {
+		t.Errorf("IndexOf(fare) = %d, want 2", s.IndexOf("fare"))
+	}
+	if s.IndexOf("missing") != -1 {
+		t.Errorf("IndexOf(missing) = %d, want -1", s.IndexOf("missing"))
+	}
+	want := "(time int, route string, fare float)"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	var nilSchema *Schema
+	if nilSchema.IndexOf("x") != -1 {
+		t.Error("nil schema IndexOf should be -1")
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate field")
+		}
+	}()
+	NewSchema(Field{Name: "a", Kind: KindInt}, Field{Name: "a", Kind: KindFloat})
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := New(1234, String_("r1"), Float(9.5))
+	if tp.Ts != 1234 {
+		t.Errorf("Ts = %d", tp.Ts)
+	}
+	if tp.Time().UnixNano() != 1234 {
+		t.Errorf("Time = %v", tp.Time())
+	}
+	if !strings.Contains(tp.String(), "r1") {
+		t.Errorf("String = %q, want route in it", tp.String())
+	}
+	if tp.MemSize() <= 0 {
+		t.Error("MemSize should be positive")
+	}
+	// Strings must cost more than their header.
+	small := New(0, String_("")).MemSize()
+	big := New(0, String_(strings.Repeat("x", 100))).MemSize()
+	if big-small != 100 {
+		t.Errorf("string MemSize delta = %d, want 100", big-small)
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	tp := New(1, String_("route-7"), Float(12.5))
+	if got := FieldFloat(1)(tp); got != 12.5 {
+		t.Errorf("FieldFloat = %v", got)
+	}
+	if got := FieldString(0)(tp); got != "route-7" {
+		t.Errorf("FieldString = %q", got)
+	}
+}
+
+func randomTuple(r *rand.Rand) Tuple {
+	n := r.Intn(5)
+	vals := make([]Value, n)
+	for i := range vals {
+		switch r.Intn(4) {
+		case 0:
+			vals[i] = Int(r.Int63() - r.Int63())
+		case 1:
+			vals[i] = Float(r.NormFloat64() * 1e6)
+		case 2:
+			b := make([]byte, r.Intn(20))
+			r.Read(b)
+			vals[i] = String_(string(b))
+		default:
+			vals[i] = Bool(r.Intn(2) == 0)
+		}
+	}
+	return Tuple{Ts: r.Int63() - r.Int63(), Vals: vals}
+}
+
+func TestCodecRoundtripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		_ = seed
+		in := randomTuple(r)
+		enc := AppendEncode(nil, in)
+		out, n, err := Decode(enc)
+		if err != nil || n != len(enc) {
+			return false
+		}
+		if out.Ts != in.Ts || len(out.Vals) != len(in.Vals) {
+			return false
+		}
+		for i := range in.Vals {
+			if !in.Vals[i].Equal(out.Vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecBatchRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 100} {
+		in := make([]Tuple, n)
+		for i := range in {
+			in[i] = randomTuple(r)
+		}
+		enc := EncodeBatch(in)
+		out, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(out) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(out))
+		}
+		for i := range in {
+			if out[i].Ts != in[i].Ts || !reflect.DeepEqual(valStrings(in[i]), valStrings(out[i])) {
+				t.Fatalf("tuple %d mismatch: %v vs %v", i, in[i], out[i])
+			}
+		}
+	}
+}
+
+func valStrings(t Tuple) []string {
+	s := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		s[i] = v.String()
+	}
+	return s
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	good := AppendEncode(nil, New(5, Int(1), String_("hello")))
+	tests := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short ts", good[:4]},
+		{"truncated value", good[:len(good)-3]},
+		{"bad kind", append(append([]byte{}, good[:9]...), 0xFF)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Decode(tc.b); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := DecodeBatch(nil); err == nil {
+		t.Error("DecodeBatch(nil) should fail")
+	}
+	// Trailing garbage after a valid batch must be rejected.
+	batch := EncodeBatch([]Tuple{New(1, Int(2))})
+	if _, err := DecodeBatch(append(batch, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tp := New(123456789, String_("route-4711"), Float(23.75), Int(99))
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], tp)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := AppendEncode(nil, New(123456789, String_("route-4711"), Float(23.75), Int(99)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

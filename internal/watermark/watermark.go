@@ -1,0 +1,108 @@
+// Package watermark implements the engine's trigger mechanism (§2):
+// watermarks are control tuples carrying a timestamp τ_W whose receipt
+// guarantees that all tuples with τ ≤ τ_W have been observed. Sources
+// generate them periodically; multi-input workers merge them by taking
+// the minimum across senders before propagating downstream.
+package watermark
+
+import "math"
+
+// Generator decides when a source should emit a watermark. It emits one
+// whenever event time crosses a period boundary; with an in-order stream
+// a watermark at the boundary is safe because windows are half-open (a
+// tuple timestamped exactly τ_W belongs only to windows ending after
+// τ_W). A configurable lag delays watermarks to tolerate bounded
+// disorder.
+type Generator struct {
+	period int64
+	lag    int64
+	last   int64
+	init   bool
+}
+
+// NewGenerator returns a generator emitting every period of event time,
+// held back by lag. Period must be positive; lag non-negative.
+func NewGenerator(period, lag int64) *Generator {
+	if period <= 0 {
+		panic("watermark: period must be positive")
+	}
+	if lag < 0 {
+		panic("watermark: lag must be non-negative")
+	}
+	return &Generator{period: period, lag: lag}
+}
+
+// Observe advances the generator with one tuple's event time and
+// returns a watermark to emit, if any. The returned watermark is the
+// largest period boundary ≤ ts − lag that has not been emitted yet.
+func (g *Generator) Observe(ts int64) (wm int64, emit bool) {
+	b := floorDiv(ts-g.lag, g.period) * g.period
+	if !g.init {
+		g.init = true
+		g.last = b
+		return b, true
+	}
+	if b > g.last {
+		g.last = b
+		return b, true
+	}
+	return 0, false
+}
+
+// Final returns the watermark a source emits at end of stream so every
+// complete window fires: the maximum observed event time.
+func (g *Generator) Final(maxTs int64) int64 { return maxTs }
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Tracker merges watermarks from multiple upstream senders: a worker's
+// effective watermark is the minimum of the latest watermark received
+// from each sender, and it only moves forward.
+type Tracker struct {
+	senders []int64
+	current int64
+}
+
+// NewTracker returns a tracker over n upstream senders.
+func NewTracker(n int) *Tracker {
+	if n <= 0 {
+		panic("watermark: tracker needs at least one sender")
+	}
+	s := make([]int64, n)
+	for i := range s {
+		s[i] = math.MinInt64
+	}
+	return &Tracker{senders: s, current: math.MinInt64}
+}
+
+// Update records a watermark from one sender and reports the merged
+// watermark plus whether it advanced.
+func (t *Tracker) Update(sender int, wm int64) (merged int64, advanced bool) {
+	if sender < 0 || sender >= len(t.senders) {
+		panic("watermark: unknown sender")
+	}
+	if wm > t.senders[sender] {
+		t.senders[sender] = wm
+	}
+	min := t.senders[0]
+	for _, v := range t.senders[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	if min > t.current {
+		t.current = min
+		return min, true
+	}
+	return t.current, false
+}
+
+// Current returns the merged watermark (MinInt64 until every sender has
+// reported).
+func (t *Tracker) Current() int64 { return t.current }

@@ -1,0 +1,180 @@
+package watermark
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorEmitsOnBoundaries(t *testing.T) {
+	g := NewGenerator(10, 0)
+	type step struct {
+		ts     int64
+		wm     int64
+		expect bool
+	}
+	steps := []step{
+		{3, 0, true},   // first observation initializes
+		{7, 0, false},  // same period
+		{12, 10, true}, // crossed 10
+		{13, 0, false},
+		{35, 30, true}, // skipped periods collapse to the latest
+		{36, 0, false},
+	}
+	for i, s := range steps {
+		wm, emit := g.Observe(s.ts)
+		if emit != s.expect || (emit && wm != s.wm) {
+			t.Errorf("step %d: Observe(%d) = (%d, %v), want (%d, %v)",
+				i, s.ts, wm, emit, s.wm, s.expect)
+		}
+	}
+	if g.Final(99) != 99 {
+		t.Errorf("Final = %d", g.Final(99))
+	}
+}
+
+func TestGeneratorLag(t *testing.T) {
+	g := NewGenerator(10, 5)
+	// ts 3: 3−5=−2 → boundary −10 (initialization).
+	if wm, emit := g.Observe(3); !emit || wm != -10 {
+		t.Errorf("Observe(3) = (%d, %v), want (-10, true)", wm, emit)
+	}
+	// ts 12: 12−5=7 → boundary 0.
+	if wm, emit := g.Observe(12); !emit || wm != 0 {
+		t.Errorf("Observe(12) = (%d, %v), want (0, true)", wm, emit)
+	}
+	// ts 14: still boundary 0 — nothing new.
+	if _, emit := g.Observe(14); emit {
+		t.Error("watermark re-emitted within period")
+	}
+	// ts 17: 17−5=12 → boundary 10.
+	wm, emit := g.Observe(17)
+	if !emit || wm != 10 {
+		t.Errorf("Observe(17) = (%d, %v)", wm, emit)
+	}
+}
+
+func TestGeneratorNegativeTimes(t *testing.T) {
+	g := NewGenerator(10, 0)
+	wm, emit := g.Observe(-25)
+	if !emit || wm != -30 {
+		t.Errorf("Observe(-25) = (%d, %v), want (-30, true)", wm, emit)
+	}
+}
+
+func TestGeneratorMonotoneProperty(t *testing.T) {
+	g := NewGenerator(7, 3)
+	last := int64(math.MinInt64)
+	f := func(delta uint8) bool {
+		// Feed a non-decreasing ts sequence.
+		ts := last
+		if ts == math.MinInt64 {
+			ts = 0
+		}
+		ts += int64(delta % 20)
+		wm, emit := g.Observe(ts)
+		if emit {
+			if wm > ts-3 { // never ahead of ts − lag
+				return false
+			}
+			if wm%7 != 0 && wm%7 != -0 {
+				return false
+			}
+		}
+		last = ts
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGenerator(0, 0) },
+		func() { NewGenerator(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTrackerMinMerge(t *testing.T) {
+	tr := NewTracker(3)
+	if tr.Current() != math.MinInt64 {
+		t.Error("initial watermark should be -inf")
+	}
+	if _, adv := tr.Update(0, 100); adv {
+		t.Error("advanced before all senders reported")
+	}
+	tr.Update(1, 50)
+	merged, adv := tr.Update(2, 80)
+	if !adv || merged != 50 {
+		t.Errorf("merge = (%d, %v), want (50, true)", merged, adv)
+	}
+	// Sender 1 advances past the others: min is now 80.
+	merged, adv = tr.Update(1, 200)
+	if !adv || merged != 80 {
+		t.Errorf("merge = (%d, %v), want (80, true)", merged, adv)
+	}
+	// Stale update never regresses.
+	merged, adv = tr.Update(0, 60)
+	if adv || merged != 80 {
+		t.Errorf("stale update = (%d, %v)", merged, adv)
+	}
+	if tr.Current() != 80 {
+		t.Errorf("Current = %d", tr.Current())
+	}
+}
+
+func TestTrackerSingleSender(t *testing.T) {
+	tr := NewTracker(1)
+	if m, adv := tr.Update(0, 5); !adv || m != 5 {
+		t.Errorf("single sender = (%d, %v)", m, adv)
+	}
+}
+
+func TestTrackerPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewTracker(0) },
+		func() { NewTracker(2).Update(2, 1) },
+		func() { NewTracker(2).Update(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the merged watermark never exceeds any sender's latest.
+func TestTrackerNeverExceedsSenders(t *testing.T) {
+	tr := NewTracker(4)
+	latest := [4]int64{math.MinInt64, math.MinInt64, math.MinInt64, math.MinInt64}
+	f := func(sRaw uint8, wm int16) bool {
+		s := int(sRaw % 4)
+		if int64(wm) > latest[s] {
+			latest[s] = int64(wm)
+		}
+		merged, _ := tr.Update(s, int64(wm))
+		for _, l := range latest {
+			if merged > l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,418 @@
+package window
+
+import (
+	"fmt"
+
+	"spear/internal/storage"
+	"spear/internal/tuple"
+)
+
+// Complete is a window a manager has closed and staged for processing.
+type Complete struct {
+	ID         ID
+	Start, End int64 // [Start, End) in the spec's domain
+	// Tuples is the window's full contents in arrival order; nil when
+	// the owner requested the window uncollected (see
+	// Config.SkipCollect).
+	Tuples []tuple.Tuple
+	// Uncollected reports that collection was skipped on request —
+	// the window is non-empty but Tuples is nil.
+	Uncollected bool
+	// FetchedFromStore reports whether any of the tuples had to be
+	// retrieved from secondary storage S (the window spilled).
+	FetchedFromStore bool
+}
+
+// Size returns the number of tuples in the window.
+func (c Complete) Size() int { return len(c.Tuples) }
+
+// Manager is the per-worker window lifecycle: buffer tuples at arrival,
+// stage complete windows at watermark arrival (trigger), and discard
+// fully processed tuples (evict) — the two mechanisms of §2.
+//
+// Managers are used by a single executor goroutine and need no locking.
+type Manager interface {
+	// OnTuple buffers one tuple. For count-domain specs it may return
+	// newly completed windows (count windows close on arrival, not on
+	// watermarks).
+	OnTuple(t tuple.Tuple) ([]Complete, error)
+	// OnWatermark stages every window whose end is ≤ wm, oldest
+	// first, and evicts expired tuples.
+	OnWatermark(wm int64) ([]Complete, error)
+	// MemUsage returns the current buffered bytes (the paper's
+	// per-worker memory metric, Fig. 7).
+	MemUsage() int
+	// PeakMemUsage returns the high-water mark of MemUsage.
+	PeakMemUsage() int
+	// LateDropped returns the number of tuples discarded because they
+	// arrived behind the last fired window.
+	LateDropped() int64
+	// Spilled returns the number of tuples currently residing in S.
+	Spilled() int64
+}
+
+// Config configures a window manager.
+type Config struct {
+	Spec Spec
+	// BudgetBytes caps the in-memory buffer; tuples beyond it spill
+	// to Store. Zero means unlimited (never spill).
+	BudgetBytes int
+	// Store is the secondary storage S for spilling. Required when
+	// BudgetBytes > 0.
+	Store storage.SpillStore
+	// Key namespaces this worker's segments in Store.
+	Key string
+	// SkipCollect, when non-nil, is asked before a window is staged:
+	// returning true skips gathering the window's tuples (the evict
+	// scan still runs). Callers use it when the result can be
+	// produced from metadata alone; they must only return true for
+	// windows they know are non-empty.
+	SkipCollect func(id ID) bool
+}
+
+func (c Config) validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.BudgetBytes > 0 && c.Store == nil {
+		return fmt.Errorf("window: budget %dB set but no spill store", c.BudgetBytes)
+	}
+	return nil
+}
+
+// SingleBuffer is the Storm design of Figs. 3–4: every tuple is stored
+// exactly once in one arrival-ordered buffer. At watermark arrival the
+// buffer is scanned once to collect the completed window's tuples and to
+// evict expired ones. Minimal memory per tuple, one scan per trigger.
+type SingleBuffer struct {
+	cfg      Config
+	buf      []tuple.Tuple
+	bufBytes int
+	peak     int
+
+	seq        int64 // tuples seen; supplies count-domain positions
+	maxPos     int64 // highest position observed (clamps the fire range)
+	started    bool
+	nextFire   ID
+	late       int64
+	spilledCnt int64
+	segSeq     int // distinguishes successive spill generations
+}
+
+// NewSingleBuffer returns a single-buffer manager for cfg.
+func NewSingleBuffer(cfg Config) (*SingleBuffer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &SingleBuffer{cfg: cfg}, nil
+}
+
+func (m *SingleBuffer) pos(t tuple.Tuple) int64 {
+	if m.cfg.Spec.Domain == CountDomain {
+		return m.seq
+	}
+	return t.Ts
+}
+
+func (m *SingleBuffer) spillKey() string {
+	return fmt.Sprintf("%s#%d", m.cfg.Key, m.segSeq)
+}
+
+// OnTuple implements Manager.
+func (m *SingleBuffer) OnTuple(t tuple.Tuple) ([]Complete, error) {
+	p := m.pos(t)
+	if m.cfg.Spec.Domain == CountDomain {
+		// Count positions are assigned here; rewrite Ts so the scan
+		// at trigger time sees the position, and remember the
+		// original event time is not needed for count windows.
+		t.Ts = p
+	}
+	m.seq++
+
+	if p > m.maxPos || m.seq == 1 {
+		m.maxPos = p
+	}
+	lo, _ := m.cfg.Spec.Assign(p)
+	if !m.started {
+		m.started = true
+		m.nextFire = lo
+	} else if lo < m.nextFire {
+		// The tuple only belongs to windows that already fired.
+		_, hi := m.cfg.Spec.Assign(p)
+		if hi < m.nextFire {
+			m.late++
+			return nil, nil
+		}
+	}
+
+	sz := t.MemSize()
+	if m.cfg.BudgetBytes > 0 && m.bufBytes+sz > m.cfg.BudgetBytes {
+		// Budget exhausted: spill this tuple to S (Alg. 1 line 6).
+		if err := m.cfg.Store.Store(m.spillKey(), []tuple.Tuple{t}); err != nil {
+			return nil, err
+		}
+		m.spilledCnt++
+	} else {
+		m.buf = append(m.buf, t)
+		m.bufBytes += sz
+		if m.bufBytes > m.peak {
+			m.peak = m.bufBytes
+		}
+	}
+
+	if m.cfg.Spec.Domain == CountDomain {
+		// A count window [s, e) is complete once position e-1 has
+		// arrived, i.e. the watermark is the arrival count.
+		return m.fire(m.seq)
+	}
+	return nil, nil
+}
+
+// OnWatermark implements Manager.
+func (m *SingleBuffer) OnWatermark(wm int64) ([]Complete, error) {
+	if m.cfg.Spec.Domain == CountDomain {
+		return nil, nil // count windows close on arrival
+	}
+	return m.fire(wm)
+}
+
+// fire stages all windows with end ≤ wm and evicts expired tuples.
+func (m *SingleBuffer) fire(wm int64) ([]Complete, error) {
+	if !m.started {
+		return nil, nil
+	}
+	last := m.cfg.Spec.FirstCompleteBy(wm)
+	// Clamp to windows that can hold data, so a +∞ closing watermark
+	// fires a finite range.
+	if _, hiData := m.cfg.Spec.Assign(m.maxPos); last > hiData {
+		last = hiData
+	}
+	if last < m.nextFire {
+		return nil, nil
+	}
+
+	// If tuples spilled, the trigger must retrieve them (§2: "In the
+	// event that the worker spilled tuples to S, then it has to
+	// retrieve them").
+	fetched := false
+	if m.spilledCnt > 0 {
+		ts, err := m.cfg.Store.Get(m.spillKey())
+		if err != nil {
+			return nil, err
+		}
+		if err := m.cfg.Store.Delete(m.spillKey()); err != nil {
+			return nil, err
+		}
+		m.segSeq++
+		m.buf = append(m.buf, ts...)
+		for _, t := range ts {
+			m.bufBytes += t.MemSize()
+		}
+		if m.bufBytes > m.peak {
+			m.peak = m.bufBytes
+		}
+		m.spilledCnt = 0
+		fetched = true
+	}
+
+	var out []Complete
+	for id := m.nextFire; id <= last; id++ {
+		start, end := m.cfg.Spec.Bounds(id)
+		if m.cfg.SkipCollect != nil && m.cfg.SkipCollect(id) {
+			out = append(out, Complete{
+				ID: id, Start: start, End: end,
+				Uncollected: true, FetchedFromStore: fetched,
+			})
+			continue
+		}
+		// One scan gathers the window's tuples (Fig. 4, left).
+		var ts []tuple.Tuple
+		for _, t := range m.buf {
+			if t.Ts >= start && t.Ts < end {
+				ts = append(ts, t)
+			}
+		}
+		if len(ts) == 0 {
+			continue // empty windows do not fire
+		}
+		out = append(out, Complete{
+			ID: id, Start: start, End: end,
+			Tuples: ts, FetchedFromStore: fetched,
+		})
+	}
+	m.nextFire = last + 1
+
+	// Evict tuples that precede every still-active window (Fig. 4).
+	evictBefore, _ := m.cfg.Spec.Bounds(m.nextFire)
+	kept := m.buf[:0]
+	bytes := 0
+	for _, t := range m.buf {
+		if t.Ts >= evictBefore {
+			kept = append(kept, t)
+			bytes += t.MemSize()
+		}
+	}
+	// Zero the tail so evicted tuples are collectable.
+	for i := len(kept); i < len(m.buf); i++ {
+		m.buf[i] = tuple.Tuple{}
+	}
+	m.buf = kept
+	m.bufBytes = bytes
+
+	// Re-spill if the survivors still exceed the budget.
+	if m.cfg.BudgetBytes > 0 && m.bufBytes > m.cfg.BudgetBytes {
+		cut := len(m.buf)
+		bytes := m.bufBytes
+		for cut > 0 && bytes > m.cfg.BudgetBytes {
+			cut--
+			bytes -= m.buf[cut].MemSize()
+		}
+		if cut < len(m.buf) {
+			if err := m.cfg.Store.Store(m.spillKey(), m.buf[cut:]); err != nil {
+				return nil, err
+			}
+			m.spilledCnt += int64(len(m.buf) - cut)
+			for i := cut; i < len(m.buf); i++ {
+				m.buf[i] = tuple.Tuple{}
+			}
+			m.buf = m.buf[:cut]
+			m.bufBytes = bytes
+		}
+	}
+	return out, nil
+}
+
+// MemUsage implements Manager.
+func (m *SingleBuffer) MemUsage() int { return m.bufBytes }
+
+// PeakMemUsage implements Manager.
+func (m *SingleBuffer) PeakMemUsage() int { return m.peak }
+
+// LateDropped implements Manager.
+func (m *SingleBuffer) LateDropped() int64 { return m.late }
+
+// Spilled implements Manager.
+func (m *SingleBuffer) Spilled() int64 { return m.spilledCnt }
+
+// MultiBuffer is the Flink design of Figs. 3–4: a copy of each tuple is
+// stored in a dedicated buffer per window it participates in. Windows
+// are ready without a scan at trigger time, at the cost of Overlap()
+// copies of every tuple.
+type MultiBuffer struct {
+	cfg      Config
+	bufs     map[ID][]tuple.Tuple
+	bytes    map[ID]int
+	bufBytes int
+	peak     int
+
+	seq      int64
+	maxPos   int64
+	started  bool
+	nextFire ID
+	late     int64
+}
+
+// NewMultiBuffer returns a multiple-buffers manager for cfg. Spilling is
+// not supported in this design (it exists for the buffering-cost
+// comparison); a budget is rejected.
+func NewMultiBuffer(cfg Config) (*MultiBuffer, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BudgetBytes > 0 {
+		return nil, fmt.Errorf("window: MultiBuffer does not support spilling")
+	}
+	return &MultiBuffer{
+		cfg:   cfg,
+		bufs:  make(map[ID][]tuple.Tuple),
+		bytes: make(map[ID]int),
+	}, nil
+}
+
+// OnTuple implements Manager.
+func (m *MultiBuffer) OnTuple(t tuple.Tuple) ([]Complete, error) {
+	p := t.Ts
+	if m.cfg.Spec.Domain == CountDomain {
+		p = m.seq
+		t.Ts = p
+	}
+	m.seq++
+
+	if p > m.maxPos || m.seq == 1 {
+		m.maxPos = p
+	}
+	lo, hi := m.cfg.Spec.Assign(p)
+	if !m.started {
+		m.started = true
+		m.nextFire = lo
+	}
+	if hi < m.nextFire {
+		m.late++
+		return nil, nil
+	}
+	if lo < m.nextFire {
+		lo = m.nextFire
+	}
+	sz := t.MemSize()
+	for id := lo; id <= hi; id++ {
+		m.bufs[id] = append(m.bufs[id], t)
+		m.bytes[id] += sz
+		m.bufBytes += sz
+	}
+	if m.bufBytes > m.peak {
+		m.peak = m.bufBytes
+	}
+	if m.cfg.Spec.Domain == CountDomain {
+		return m.fire(m.seq)
+	}
+	return nil, nil
+}
+
+// OnWatermark implements Manager.
+func (m *MultiBuffer) OnWatermark(wm int64) ([]Complete, error) {
+	if m.cfg.Spec.Domain == CountDomain {
+		return nil, nil
+	}
+	return m.fire(wm)
+}
+
+func (m *MultiBuffer) fire(wm int64) ([]Complete, error) {
+	if !m.started {
+		return nil, nil
+	}
+	last := m.cfg.Spec.FirstCompleteBy(wm)
+	if _, hiData := m.cfg.Spec.Assign(m.maxPos); last > hiData {
+		last = hiData
+	}
+	if last < m.nextFire {
+		return nil, nil
+	}
+	var out []Complete
+	for id := m.nextFire; id <= last; id++ {
+		start, end := m.cfg.Spec.Bounds(id)
+		// The buffer is picked and staged directly — no scan
+		// (Fig. 4, right).
+		if len(m.bufs[id]) > 0 {
+			out = append(out, Complete{
+				ID: id, Start: start, End: end, Tuples: m.bufs[id],
+			})
+		}
+		m.bufBytes -= m.bytes[id]
+		delete(m.bufs, id)
+		delete(m.bytes, id)
+	}
+	m.nextFire = last + 1
+	return out, nil
+}
+
+// MemUsage implements Manager.
+func (m *MultiBuffer) MemUsage() int { return m.bufBytes }
+
+// PeakMemUsage implements Manager.
+func (m *MultiBuffer) PeakMemUsage() int { return m.peak }
+
+// LateDropped implements Manager.
+func (m *MultiBuffer) LateDropped() int64 { return m.late }
+
+// Spilled implements Manager.
+func (m *MultiBuffer) Spilled() int64 { return 0 }

@@ -1,0 +1,561 @@
+// Package spear is a stream processing engine that expedites stateful
+// window operations by trading accuracy for performance under explicit
+// user guarantees, reproducing the SPEAr system (Katsipoulakis,
+// Labrinidis, Chrysanthis — ICDE 2020).
+//
+// A continuous query is built fluently, mirroring the paper's Fig. 5:
+//
+//	res, err := spear.NewQuery("rides").
+//		Source(spear.FromSlice(tuples)).
+//		SlidingWindow(15*time.Minute, 5*time.Minute).
+//		Percentile(fare, 0.95).
+//		BudgetBytes(1 << 20).
+//		Error(0.10, 0.95).
+//		Run(func(worker int, r spear.Result) { ... })
+//
+// Each stateful worker keeps, within the budget b, an online sample and
+// statistics of every active window. At watermark arrival it estimates
+// the accuracy ε̂_w achievable from the budget; if ε̂_w ≤ ε the window is
+// answered from the sample in O(b), otherwise it is processed exactly —
+// the same cost as a conventional engine. Scalar non-holistic
+// aggregates additionally use an incremental exact path.
+package spear
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"spear/internal/agg"
+	"spear/internal/core"
+	"spear/internal/dataset"
+	"spear/internal/metrics"
+	"spear/internal/spe"
+	"spear/internal/storage"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// Tuple is one stream record: an event timestamp (nanoseconds) plus
+// typed field values.
+type Tuple = tuple.Tuple
+
+// Value is one typed tuple field.
+type Value = tuple.Value
+
+// Result is one window's output, carrying the production mode (exact,
+// sampled, incremental), the estimated error, and the scalar or
+// per-group values.
+type Result = core.Result
+
+// Summary aggregates a run's telemetry: window counts, acceleration
+// fraction, pooled mean and 95th-percentile window processing times,
+// and mean per-worker peak memory.
+type Summary = metrics.Summary
+
+// Source produces the input stream; Next returns ok=false at the end.
+type Source = spe.Spout
+
+// Convenience re-exports for building tuples and sources.
+var (
+	// NewTuple builds a tuple from a timestamp and values.
+	NewTuple = tuple.New
+	// Int wraps an int64 field value.
+	Int = tuple.Int
+	// Float wraps a float64 field value.
+	Float = tuple.Float
+	// Str wraps a string field value.
+	Str = tuple.String_
+	// Bool wraps a bool field value.
+	Bool = tuple.Bool
+)
+
+// FromSlice returns a Source replaying ts in order.
+func FromSlice(ts []Tuple) Source { return spe.NewSliceSpout(ts) }
+
+// FromFunc adapts a generator function to a Source.
+func FromFunc(f func() (Tuple, bool)) Source { return spe.FuncSpout(f) }
+
+// Merge combines several event-time-ordered sources into one (a CQ with
+// multiple input streams). Each input must be non-decreasing in Ts.
+func Merge(sources ...Source) Source { return spe.MergeSpouts(sources...) }
+
+// Schema describes a stream's fields; Field is one column.
+type (
+	Schema = tuple.Schema
+	Field  = tuple.Field
+)
+
+// Field kinds for schemas.
+const (
+	KindInt    = tuple.KindInt
+	KindFloat  = tuple.KindFloat
+	KindString = tuple.KindString
+	KindBool   = tuple.KindBool
+)
+
+// NewSchema builds a schema from fields (names must be unique).
+var NewSchema = tuple.NewSchema
+
+// FromCSV returns a Source replaying CSV data whose first column is a
+// nanosecond timestamp named "ts" and whose remaining columns match
+// schema — the format cmd/spear-gen writes. Parse errors end the
+// stream; call the returned error function after the run to check for
+// one.
+func FromCSV(r io.Reader, name string, schema *Schema) (Source, func() error, error) {
+	cs, err := dataset.ReadCSV(r, name, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return FromFunc(cs.Stream.Next), cs.Err, nil
+}
+
+// Backend selects the stateful processing strategy, mainly for
+// benchmarking SPEAr against its baselines.
+type Backend uint8
+
+// Available backends.
+const (
+	// BackendSPEAr is the approximate engine with accuracy guarantees
+	// (the default).
+	BackendSPEAr Backend = iota
+	// BackendExact is the conventional single-buffer engine ("Storm"
+	// in the paper's figures): every window processed in full.
+	BackendExact
+	// BackendIncremental maintains non-holistic scalar aggregates at
+	// tuple arrival ("Inc-Storm"): exact, O(1) per watermark, but
+	// limited to non-holistic scalar operations.
+	BackendIncremental
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendExact:
+		return "exact"
+	case BackendIncremental:
+		return "incremental"
+	default:
+		return "spear"
+	}
+}
+
+// Query is a continuous query under construction. Methods return the
+// query for chaining; configuration errors accumulate and surface at
+// Run.
+type Query struct {
+	name string
+	errs []error
+
+	source   Source
+	maps     []spe.MapFunc
+	spec     window.Spec
+	haveSpec bool
+
+	value   tuple.Extractor
+	keyBy   tuple.KeyExtractor
+	aggFunc agg.Func
+	custom  *agg.CustomFunc
+	haveAgg bool
+
+	epsilon      float64
+	confidence   float64
+	budgetTuples int
+	knownGroups  int
+
+	parallelism int
+	backend     Backend
+	seed        int64
+	queueSize   int
+	wmPeriod    time.Duration
+	wmLag       time.Duration
+
+	store              storage.SpillStore
+	budgetPolicy       core.BudgetPolicy
+	disableIncremental bool
+	scalarEst          core.ScalarEstimator
+	groupedEst         core.GroupedEstimator
+	registry           *metrics.Registry
+	exactBufferBytes   int
+}
+
+// NewQuery starts a query named name (used in telemetry and errors).
+func NewQuery(name string) *Query {
+	return &Query{
+		name:        name,
+		epsilon:     0.10,
+		confidence:  0.95,
+		parallelism: 1,
+		seed:        1,
+	}
+}
+
+func (q *Query) errf(format string, args ...any) *Query {
+	q.errs = append(q.errs, fmt.Errorf("spear: %s: "+format, append([]any{q.name}, args...)...))
+	return q
+}
+
+// Source sets the input stream.
+func (q *Query) Source(s Source) *Query {
+	q.source = s
+	return q
+}
+
+// Map appends a stateless transformation stage; returning ok=false
+// drops the tuple (filter).
+func (q *Query) Map(fn func(Tuple) (Tuple, bool)) *Query {
+	if fn == nil {
+		return q.errf("nil Map function")
+	}
+	q.maps = append(q.maps, spe.MapFunc(fn))
+	return q
+}
+
+// SlidingWindow sets a time-based sliding window over event time.
+func (q *Query) SlidingWindow(rng, slide time.Duration) *Query {
+	q.spec = window.Sliding(rng, slide)
+	q.haveSpec = true
+	return q
+}
+
+// TumblingWindow sets a time-based tumbling window.
+func (q *Query) TumblingWindow(rng time.Duration) *Query {
+	q.spec = window.Tumbling(rng)
+	q.haveSpec = true
+	return q
+}
+
+// CountSlidingWindow sets a count-based sliding window.
+func (q *Query) CountSlidingWindow(rng, slide int64) *Query {
+	q.spec = window.CountSliding(rng, slide)
+	q.haveSpec = true
+	return q
+}
+
+// CountTumblingWindow sets a count-based tumbling window.
+func (q *Query) CountTumblingWindow(rng int64) *Query {
+	q.spec = window.CountTumbling(rng)
+	q.haveSpec = true
+	return q
+}
+
+// GroupBy makes the stateful operation grouped: one result per distinct
+// key per window, with tuples routed to workers by key hash.
+func (q *Query) GroupBy(key func(Tuple) string) *Query {
+	if key == nil {
+		return q.errf("nil GroupBy key")
+	}
+	q.keyBy = key
+	return q
+}
+
+// KnownGroups declares the number of distinct groups at submission
+// time, letting SPEAr build the stratified sample at tuple arrival
+// (§4.1) instead of during the watermark scan.
+func (q *Query) KnownGroups(n int) *Query {
+	if n <= 0 {
+		return q.errf("KnownGroups %d must be positive", n)
+	}
+	q.knownGroups = n
+	return q
+}
+
+func (q *Query) setAgg(f agg.Func, value func(Tuple) float64) *Query {
+	if q.haveAgg {
+		return q.errf("aggregate already set to %s", q.aggFunc)
+	}
+	if value == nil {
+		return q.errf("nil value extractor for %s", f)
+	}
+	q.aggFunc = f
+	q.value = value
+	q.haveAgg = true
+	return q
+}
+
+// Count counts tuples per window (per group if grouped).
+func (q *Query) Count() *Query {
+	return q.setAgg(agg.Func{Op: agg.Count}, func(Tuple) float64 { return 0 })
+}
+
+// Sum aggregates the sum of value per window.
+func (q *Query) Sum(value func(Tuple) float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.Sum}, value)
+}
+
+// Mean aggregates the arithmetic mean of value per window.
+func (q *Query) Mean(value func(Tuple) float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.Mean}, value)
+}
+
+// Min aggregates the minimum of value per window.
+func (q *Query) Min(value func(Tuple) float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.Min}, value)
+}
+
+// Max aggregates the maximum of value per window.
+func (q *Query) Max(value func(Tuple) float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.Max}, value)
+}
+
+// Variance aggregates the unbiased sample variance of value per window.
+func (q *Query) Variance(value func(Tuple) float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.Variance}, value)
+}
+
+// StdDev aggregates the sample standard deviation of value per window.
+func (q *Query) StdDev(value func(Tuple) float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.StdDev}, value)
+}
+
+// Percentile aggregates the p-th percentile (p in [0,1]) of value per
+// window — a holistic operation. For percentiles the error bound ε is a
+// rank error, following Manku et al.
+func (q *Query) Percentile(value func(Tuple) float64, p float64) *Query {
+	return q.setAgg(agg.Func{Op: agg.Percentile, P: p}, value)
+}
+
+// Median aggregates the median of value per window.
+func (q *Query) Median(value func(Tuple) float64) *Query {
+	return q.Percentile(value, 0.5)
+}
+
+// CustomFunc is a user-defined holistic aggregate; see
+// agg.CustomFunc for the contract.
+type CustomFunc = agg.CustomFunc
+
+// CustomAgg sets a user-defined holistic scalar aggregate together
+// with its accuracy-estimation function — the paper's API for custom
+// approximate stateful operations (§4). The estimator decides, per
+// window, whether the budget's sample supports an acceptable answer;
+// custom operations without a sound estimator should return ok=false
+// to force exact processing.
+func (q *Query) CustomAgg(fn CustomFunc, value func(Tuple) float64, est core.ScalarEstimator) *Query {
+	if q.haveAgg {
+		return q.errf("aggregate already set")
+	}
+	if value == nil {
+		return q.errf("nil value extractor for %s", fn.Name)
+	}
+	if est == nil {
+		return q.errf("custom aggregate %s requires an estimator", fn.Name)
+	}
+	q.custom = &fn
+	q.value = value
+	q.scalarEst = est
+	q.haveAgg = true
+	return q
+}
+
+// BudgetTuples sets the per-worker memory budget b in tuples — the
+// reservoir capacity (scalar) or sample size (grouped).
+func (q *Query) BudgetTuples(n int) *Query {
+	if n <= 0 {
+		return q.errf("budget %d must be positive", n)
+	}
+	q.budgetTuples = n
+	return q
+}
+
+// BudgetBytes sets the budget from a byte size, assuming 8-byte values
+// and reserving two slots for the window statistics, exactly as the
+// paper's .budget(1MB) accounts it.
+func (q *Query) BudgetBytes(bytes int) *Query {
+	if bytes <= 0 {
+		return q.errf("budget %dB must be positive", bytes)
+	}
+	q.budgetTuples = core.BudgetBytes(bytes, 8)
+	return q
+}
+
+// AdaptiveBudget lets the engine adjust the budget online between
+// windows (the paper's future-work extension): estimation failures grow
+// it, comfortable accelerations shrink it, within [min, max]. The
+// starting value is BudgetTuples (or the default).
+func (q *Query) AdaptiveBudget(min, max int) *Query {
+	if min < 1 || max < min {
+		return q.errf("adaptive budget bounds [%d, %d] invalid", min, max)
+	}
+	q.budgetPolicy = &core.AIMDBudget{Min: min, Max: max}
+	return q
+}
+
+// Error sets the accuracy specification: an accelerated result deviates
+// from the exact one by at most epsilon, for a confidence fraction of
+// windows — the paper's .error(10%, 95%).
+func (q *Query) Error(epsilon, confidence float64) *Query {
+	q.epsilon = epsilon
+	q.confidence = confidence
+	return q
+}
+
+// Parallelism sets the number of stateful workers (the paper's "nodes").
+func (q *Query) Parallelism(n int) *Query {
+	if n <= 0 {
+		return q.errf("parallelism %d must be positive", n)
+	}
+	q.parallelism = n
+	return q
+}
+
+// WithBackend selects SPEAr or a baseline engine.
+func (q *Query) WithBackend(b Backend) *Query {
+	q.backend = b
+	return q
+}
+
+// Seed fixes the sampling seed for reproducible runs.
+func (q *Query) Seed(s int64) *Query {
+	q.seed = s
+	return q
+}
+
+// QueueSize bounds worker input queues (back-pressure); zero keeps the
+// default of 1024.
+func (q *Query) QueueSize(n int) *Query {
+	q.queueSize = n
+	return q
+}
+
+// WatermarkEvery overrides the watermark period (default: the window
+// slide) and lag (default: zero, for in-order sources).
+func (q *Query) WatermarkEvery(period, lag time.Duration) *Query {
+	q.wmPeriod = period
+	q.wmLag = lag
+	return q
+}
+
+// SpillStore overrides secondary storage S (default: an in-process
+// store). Use storage-backed implementations for durability.
+func (q *Query) SpillStore(s storage.SpillStore) *Query {
+	q.store = s
+	return q
+}
+
+// DisableIncremental forces non-holistic scalar aggregates through the
+// sample-and-estimate path (the paper's §5.5 configuration).
+func (q *Query) DisableIncremental() *Query {
+	q.disableIncremental = true
+	return q
+}
+
+// EstimateScalarWith installs a custom accuracy-estimation function for
+// scalar operations — the paper's API for user-defined approximate
+// stateful operations.
+func (q *Query) EstimateScalarWith(est core.ScalarEstimator) *Query {
+	q.scalarEst = est
+	return q
+}
+
+// EstimateGroupedWith installs a custom accuracy-estimation function
+// for grouped operations.
+func (q *Query) EstimateGroupedWith(est core.GroupedEstimator) *Query {
+	q.groupedEst = est
+	return q
+}
+
+// MetricsInto directs telemetry into reg (one Worker per stateful
+// worker thread); without it a private registry is used and returned
+// via the run Summary only.
+func (q *Query) MetricsInto(reg *metrics.Registry) *Query {
+	q.registry = reg
+	return q
+}
+
+// ExactBufferBytes bounds the exact backend's window buffer, spilling
+// overflow to secondary storage (models a worker's memory budget b for
+// the baseline). Zero means unbounded.
+func (q *Query) ExactBufferBytes(n int) *Query {
+	q.exactBufferBytes = n
+	return q
+}
+
+// Run executes the query to completion, invoking sink for every window
+// result, and returns the run's telemetry summary.
+func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
+	if len(q.errs) > 0 {
+		return Summary{}, errors.Join(q.errs...)
+	}
+	if q.source == nil {
+		return Summary{}, fmt.Errorf("spear: %s: no source", q.name)
+	}
+	if !q.haveSpec {
+		return Summary{}, fmt.Errorf("spear: %s: no window", q.name)
+	}
+	if !q.haveAgg {
+		return Summary{}, fmt.Errorf("spear: %s: no aggregate", q.name)
+	}
+	if sink == nil {
+		return Summary{}, fmt.Errorf("spear: %s: nil sink", q.name)
+	}
+	if q.budgetTuples == 0 {
+		// A sensible default: enough for a 10%/95% quantile per the
+		// Hoeffding bound, with headroom.
+		q.budgetTuples = 1000
+	}
+	store := q.store
+	if store == nil {
+		store = storage.NewMemStore()
+	}
+	reg := q.registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+
+	factory := func(wi int) (core.Manager, error) {
+		cfg := core.Config{
+			Spec:               q.spec,
+			Agg:                q.aggFunc,
+			Custom:             q.custom,
+			Value:              q.value,
+			KeyBy:              q.keyBy,
+			Epsilon:            q.epsilon,
+			Confidence:         q.confidence,
+			BudgetTuples:       q.budgetTuples,
+			KnownGroups:        q.knownGroups,
+			Store:              store,
+			Key:                fmt.Sprintf("%s/%s/%d", q.name, q.backend, wi),
+			Seed:               q.seed + int64(wi)*7919,
+			DisableIncremental: q.disableIncremental,
+			ScalarEstimator:    q.scalarEst,
+			GroupedEstimator:   q.groupedEst,
+			Metrics:            reg.Worker(fmt.Sprintf("%s[%d]", q.name, wi)),
+			Budget:             q.budgetPolicy,
+		}
+		switch q.backend {
+		case BackendExact:
+			return core.NewExactManager(cfg, q.exactBufferBytes)
+		case BackendIncremental:
+			return core.NewIncrementalManager(cfg)
+		default:
+			if q.keyBy != nil {
+				return core.NewGroupedManager(cfg)
+			}
+			return core.NewScalarManager(cfg)
+		}
+	}
+
+	wmPeriod := int64(q.wmPeriod)
+	if wmPeriod == 0 && q.spec.Domain == window.TimeDomain {
+		wmPeriod = q.spec.Slide
+	}
+	if q.spec.Domain == window.CountDomain {
+		wmPeriod = 0 // count windows close on arrival
+	}
+	tp := spe.NewTopology(spe.Config{
+		QueueSize:       q.queueSize,
+		WatermarkPeriod: wmPeriod,
+		WatermarkLag:    int64(q.wmLag),
+	}).SetSpout(q.source)
+	for _, fn := range q.maps {
+		tp.AddMap(q.name+"/map", q.parallelism, fn)
+	}
+	tp.SetWindowed(q.name, q.parallelism, q.keyBy, factory)
+	tp.SetSink(func(worker int, r core.Result) { sink(worker, r) })
+
+	if err := tp.Run(); err != nil {
+		return Summary{}, err
+	}
+	return reg.Summarize(), nil
+}

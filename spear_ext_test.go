@@ -1,0 +1,136 @@
+package spear
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spear/internal/agg"
+	"spear/internal/core"
+	"spear/internal/stats"
+)
+
+func TestCustomAggEndToEnd(t *testing.T) {
+	var in []Tuple
+	for i := 0; i < 20000; i++ {
+		v := 100 + float64(i%41) - 20 // uniform-ish around 100
+		if i%500 == 0 {
+			v = 10_000 // outliers the trimmed mean must shrug off
+		}
+		in = append(in, NewTuple(int64(i%1000), Float(v)))
+	}
+	est := core.TrimmedMeanEstimator(0.05)
+	sink := &sinkBuf{}
+	sum, err := NewQuery("robust").
+		Source(FromSlice(in)).
+		TumblingWindow(1000*time.Nanosecond).
+		CustomAgg(agg.TrimmedMean(0.05), func(t Tuple) float64 { return t.Vals[0].AsFloat() }, est).
+		BudgetTuples(2000).
+		Error(0.10, 0.95).
+		Run(sink.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Windows != 1 {
+		t.Fatalf("windows = %d", sum.Windows)
+	}
+	r := sink.res[0]
+	if r.Mode != core.ModeSampled {
+		t.Fatalf("Mode = %v", r.Mode)
+	}
+	// The outliers are 0.2% of tuples; a 5% trim removes them, so the
+	// result must sit near 100, not near the contaminated mean (~120).
+	if r.Scalar < 90 || r.Scalar > 110 {
+		t.Errorf("trimmed mean = %v, want ≈100", r.Scalar)
+	}
+}
+
+func TestCustomAggValidation(t *testing.T) {
+	src := FromSlice(nil)
+	sink := func(int, Result) {}
+	val := func(t Tuple) float64 { return 0 }
+	est := func(core.ScalarState) (float64, bool) { return 0, true }
+
+	if _, err := NewQuery("q").Source(src).TumblingWindow(1).
+		CustomAgg(agg.TrimmedMean(0.1), val, nil).Run(sink); err == nil {
+		t.Error("custom agg without estimator accepted")
+	}
+	if _, err := NewQuery("q").Source(src).TumblingWindow(1).
+		CustomAgg(agg.TrimmedMean(0.1), nil, est).Run(sink); err == nil {
+		t.Error("custom agg without value accepted")
+	}
+	if _, err := NewQuery("q").Source(src).TumblingWindow(1).
+		Mean(val).CustomAgg(agg.Range(), val, est).Run(sink); err == nil {
+		t.Error("double aggregate accepted")
+	}
+	// Grouped custom ops are rejected at Run.
+	if _, err := NewQuery("q").Source(FromSlice([]Tuple{NewTuple(1, Str("k"), Float(1))})).
+		TumblingWindow(10).
+		GroupBy(func(t Tuple) string { return t.Vals[0].AsString() }).
+		CustomAgg(agg.Range(), val, est).Run(sink); err == nil {
+		t.Error("grouped custom op accepted")
+	}
+}
+
+func TestAdaptiveBudgetEndToEnd(t *testing.T) {
+	var in []Tuple
+	rngState := int64(1)
+	next := func() float64 { // cheap LCG noise, high variance
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return 100 + float64(rngState%97)
+	}
+	for w := 0; w < 30; w++ {
+		for i := 0; i < 1500; i++ {
+			in = append(in, NewTuple(int64(w*1000+i%1000), Float(next())))
+		}
+	}
+	sink := &sinkBuf{}
+	sum, err := NewQuery("adaptive").
+		Source(FromSlice(in)).
+		TumblingWindow(1000*time.Nanosecond).
+		Mean(func(t Tuple) float64 { return t.Vals[0].AsFloat() }).
+		DisableIncremental().
+		BudgetTuples(10).
+		AdaptiveBudget(10, 5000).
+		Error(0.05, 0.95).
+		Run(sink.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Windows != 30 {
+		t.Fatalf("windows = %d", sum.Windows)
+	}
+	res := sink.sorted()
+	if res[0].Mode != core.ModeExact {
+		t.Errorf("first window should fall back, got %v", res[0].Mode)
+	}
+	tail := res[len(res)-5:]
+	for _, r := range tail {
+		if r.Mode != core.ModeSampled {
+			t.Errorf("tail window [%d,%d) not accelerated: %v", r.Start, r.End, r.Mode)
+		}
+	}
+	if _, err := NewQuery("bad").AdaptiveBudget(0, 5).Source(FromSlice(nil)).
+		TumblingWindow(1).Mean(func(Tuple) float64 { return 0 }).
+		Run(func(int, Result) {}); err == nil {
+		t.Error("invalid adaptive bounds accepted")
+	}
+}
+
+// MeanLikeEstimate mirrors core.DefaultScalarEstimate usage from user
+// code, sanity-checking the exported hooks.
+func TestDefaultEstimateHooks(t *testing.T) {
+	var w stats.Welford
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i))
+	}
+	s := core.ScalarState{
+		Sample: make([]float64, 100), N: 10000, Stats: &w,
+		Epsilon: 0.1, Confidence: 0.95, Agg: agg.Func{Op: agg.Mean},
+	}
+	e1, ok1 := core.DefaultScalarEstimate(s)
+	e2, ok2 := core.MeanLikeEstimator(s)
+	if ok1 != ok2 || math.Abs(e1-e2) > 1e-12 {
+		t.Errorf("DefaultScalarEstimate (%v,%v) != MeanLikeEstimator (%v,%v)", e1, ok1, e2, ok2)
+	}
+}
