@@ -1,0 +1,34 @@
+# Correctness gate for the SPEAr repo. `make check` is the bar every
+# change must clear locally and in CI: compile, vet, the in-repo
+# spearlint analyzers, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet lint test race fuzz
+
+check: build vet lint race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# spearlint is this repo's own analyzer suite (cmd/spearlint): global
+# rand usage, goroutine discipline, wall-clock use in event-time code,
+# float equality, and dropped codec/spill errors. Exit status 1 means
+# findings; see DESIGN.md §9 for the catalogue and suppression syntax.
+lint:
+	$(GO) run ./cmd/spearlint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke for the tuple codec round-trip property. The seed
+# corpus under internal/tuple/testdata/fuzz also runs in plain `go
+# test`, so this target only extends coverage beyond the corpus.
+fuzz:
+	$(GO) test ./internal/tuple -run='^$$' -fuzz=FuzzTupleCodec -fuzztime=10s

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatCmpScope lists the numeric-kernel packages where float equality
+// is a correctness smell: the accuracy estimators and statistics SPEAr's
+// guarantees rest on.
+var floatCmpScope = []string{
+	"internal/stats",
+	"internal/core",
+}
+
+// analyzerFloatCmp flags == and != between floating-point expressions.
+// Comparing two computed floats for identity is almost always a bug in
+// numeric code (catastrophic cancellation, differing summation orders);
+// use an epsilon comparison instead.
+//
+// Comparisons against a compile-time constant (x == 0, p != 1) are
+// exempt: sentinel checks against exact IEEE-representable constants
+// are well-defined and pervasive in the estimators. The hazard this
+// check hunts is computed-vs-computed identity.
+var analyzerFloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "==/!= between computed float expressions; use an epsilon comparison",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pkg) []Finding {
+	if !inScope(p, floatCmpScope...) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.Info.Types[be.X]
+			yt, yok := p.Info.Types[be.Y]
+			if !xok || !yok {
+				return true // unresolved: stay conservative
+			}
+			if xt.Value != nil || yt.Value != nil {
+				return true // constant operand: exact compare is intended
+			}
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(be.OpPos),
+				Check: "floatcmp",
+				Msg:   "float equality between computed expressions; compare with an epsilon (math.Abs(a-b) <= eps) or justify with //lint:ignore floatcmp",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

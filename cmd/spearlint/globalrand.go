@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerGlobalRand flags any use of math/rand's package-level source
+// in library code. The global source is locked (contention on hot
+// paths) and unseedable-per-component (irreproducible runs); SPEAr's
+// samplers must take an injected *rand.Rand or a seed so every worker
+// derives its own deterministic stream (see sample.DeriveSeed).
+//
+// Allowed: the constructors and types needed to build injected
+// generators (New, NewSource, NewZipf, Rand, Source, Source64, Zipf).
+// Package main binaries (demos, benchmarks) are exempt — the rule
+// polices library code.
+var analyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "use of math/rand's global source in library code; inject a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand names that do not touch the
+// package-level source.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+	"Rand":       true,
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+func runGlobalRand(p *Pkg) []Finding {
+	if p.Name == "main" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		aliases := map[string]bool{}
+		if a := importAlias(f, "math/rand"); a != "" {
+			aliases[a] = true
+		}
+		if a := importAlias(f, "math/rand/v2"); a != "" {
+			aliases[a] = true
+		}
+		if len(aliases) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !aliases[id.Name] {
+				return true
+			}
+			// A local variable may shadow the package name; if the
+			// identifier resolves to a non-package object, skip.
+			if obj := p.Info.Uses[id]; obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			if globalRandAllowed[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(sel.Pos()),
+				Check: "globalrand",
+				Msg: fmt.Sprintf("%s.%s uses math/rand's global source; inject a seeded *rand.Rand (sample.DeriveSeed) for determinism and to avoid the global lock",
+					id.Name, sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerGoroutine flags `go func` literals that show no lifecycle
+// discipline: nothing in the body signals completion or watches for
+// shutdown, so nothing can ever prove the goroutine exits — the classic
+// leak shape in SPE fan-out code.
+//
+// A goroutine counts as disciplined when its body (including deferred
+// calls) does at least one of:
+//
+//   - call X.Done() or X.Wait() (sync.WaitGroup registration, or
+//     ctx.Done() in a select),
+//   - close(ch) (signals completion downstream),
+//   - receive from a channel (<-ch, covers done/stop channels and
+//     select-based shutdown),
+//   - range over a channel (terminates when the upstream closes it;
+//     the engine's worker loops take this form).
+//
+// Named-function goroutines (`go m.loop()`) are not inspected — the
+// analyzer is intraprocedural by design; move the discipline into the
+// literal or suppress with a reason.
+var analyzerGoroutine = &Analyzer{
+	Name: "goroutine-discipline",
+	Doc:  "go func literal with no WaitGroup/done-channel/lifecycle discipline (leak risk)",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true // named function: out of scope
+			}
+			if !disciplined(p, fl) {
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(g.Pos()),
+					Check: "goroutine-discipline",
+					Msg:   "goroutine has no lifecycle discipline (no WaitGroup Done/Wait, channel close, receive, or channel range); it can leak past shutdown",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// disciplined reports whether the func literal contains any recognized
+// completion or shutdown construct.
+func disciplined(p *Pkg, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					found = true
+				}
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(p.Info, n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isChan reports whether e's type is known to be a channel.
+func isChan(info *types.Info, e ast.Expr) bool {
+	if info == nil {
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isCh := tv.Type.Underlying().(*types.Chan)
+	return isCh
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches expectation annotations in fixtures:  // want "substr"
+var wantRe = regexp.MustCompile(`//\s*want\s+"([^"]+)"`)
+
+type expectation struct {
+	file string // base name
+	line int
+	sub  string
+}
+
+// loadFixture loads one fixture directory, overriding Rel so scoped
+// analyzers see the intended module-relative path.
+func loadFixture(t *testing.T, dir, relOverride string) *Pkg {
+	t.Helper()
+	pkgs, err := loadDir(dir, relOverride)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// expectations scans every .go file in dir for // want annotations.
+func expectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var out []expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fh, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(fh)
+		line := 0
+		for sc.Scan() {
+			line++
+			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
+				out = append(out, expectation{file: e.Name(), line: line, sub: m[1]})
+			}
+		}
+		fh.Close()
+	}
+	return out
+}
+
+// checkFixture runs one analyzer over a fixture and verifies findings
+// match the // want annotations exactly (both directions).
+func checkFixture(t *testing.T, a *Analyzer, fixture, relOverride string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg := loadFixture(t, dir, relOverride)
+	findings := runAnalyzers([]*Pkg{pkg}, []*Analyzer{a})
+	want := expectations(t, dir)
+
+	matched := make([]bool, len(findings))
+	for _, w := range want {
+		found := false
+		for i, f := range findings {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(f.Pos.Filename) == w.file && f.Pos.Line == w.line && strings.Contains(f.Msg, w.sub) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: missing finding at %s:%d containing %q", a.Name, w.file, w.line, w.sub)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected finding: %s", a.Name, f)
+		}
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	checkFixture(t, analyzerGlobalRand, "globalrand", "internal/fixture")
+}
+
+func TestGlobalRandSkipsPackageMain(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "globalrand"), "internal/fixture")
+	pkg.Name = "main" // simulate a binary package
+	if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerGlobalRand}); len(fs) != 0 {
+		t.Errorf("package main should be exempt, got %d findings", len(fs))
+	}
+}
+
+func TestGoroutineDiscipline(t *testing.T) {
+	checkFixture(t, analyzerGoroutine, "goroutinedisc", "internal/fixture")
+}
+
+func TestEventTime(t *testing.T) {
+	checkFixture(t, analyzerEventTime, "eventtime", "internal/window")
+}
+
+func TestEventTimeOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "eventtime"), "internal/spe")
+	if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerEventTime}); len(fs) != 0 {
+		t.Errorf("out-of-scope package should be clean, got %d findings", len(fs))
+	}
+}
+
+func TestFloatCmp(t *testing.T) {
+	checkFixture(t, analyzerFloatCmp, "floatcmp", "internal/stats")
+}
+
+func TestErrcheckLite(t *testing.T) {
+	checkFixture(t, analyzerErrcheckLite, "errchecklite", "internal/fixture")
+}
+
+func TestSuppression(t *testing.T) {
+	checkFixture(t, analyzerGlobalRand, "suppress", "internal/fixture")
+}
+
+// TestRepoClean is the gate the acceptance criteria demand: the full
+// repository must produce zero findings. It mirrors
+// `go run ./cmd/spearlint ./...` from the module root.
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found at %s", root)
+	}
+	pkgs, err := walkTree(root)
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	findings := runAnalyzers(pkgs, analyzers)
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+	if len(findings) == 0 {
+		t.Logf("repo clean across %d packages", len(pkgs))
+	}
+}
+
+// TestCatalogNamesUnique guards the suppression syntax: duplicate or
+// empty analyzer names would make //lint:ignore ambiguous.
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer with empty name or doc: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(analyzers) != 5 {
+		t.Errorf("catalogue has %d analyzers, want 5", len(analyzers))
+	}
+}
+
+// TestFindingString pins the report format other tooling greps.
+func TestFindingString(t *testing.T) {
+	f := Finding{Check: "globalrand", Msg: "m"}
+	f.Pos.Filename = "x.go"
+	f.Pos.Line = 3
+	f.Pos.Column = 7
+	if got, want := f.String(), "x.go:3:7: [globalrand] m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

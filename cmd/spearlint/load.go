@@ -1,0 +1,184 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Pkg is one parsed, best-effort-type-checked package, the unit every
+// analyzer operates on. Only non-test files are included: the analyzers
+// police library code; tests get their discipline from leakcheck and
+// the race detector instead.
+type Pkg struct {
+	// Name is the package clause name (e.g. "sample", "main").
+	Name string
+	// Dir is the absolute directory holding the package.
+	Dir string
+	// Rel is the module-relative directory ("" for the module root,
+	// "internal/window", ...). Scoped analyzers key off this.
+	Rel string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Info carries partial type information. The checker runs with a
+	// stub importer (imports resolve to empty packages), so types are
+	// only known for expressions inferable within the package — which
+	// is exactly what the float and channel checks need. Absent info
+	// makes analyzers conservative (no finding), never wrong.
+	Info *types.Info
+
+	// suppress maps file name → line → set of check names silenced by
+	// a //lint:ignore directive on that line.
+	suppress map[string]map[int]map[string]bool
+}
+
+// stubImporter satisfies every import with an empty, complete package
+// so type checking proceeds without compiled export data — the price of
+// keeping spearlint dependency-free (no go/packages).
+type stubImporter struct{ pkgs map[string]*types.Package }
+
+func (s stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	s.pkgs[path] = p
+	return p, nil
+}
+
+// loadDir parses every non-test .go file in dir and returns one Pkg per
+// package clause found (normally one). rel is recorded as Pkg.Rel.
+func loadDir(dir, rel string) ([]*Pkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spearlint: %v", err)
+	}
+	fset := token.NewFileSet()
+	byName := make(map[string][]*ast.File)
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("spearlint: parse %s: %v", filepath.Join(dir, n), err)
+		}
+		byName[f.Name.Name] = append(byName[f.Name.Name], f)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var out []*Pkg
+	for _, name := range names {
+		files := byName[name]
+		sort.Slice(files, func(i, j int) bool {
+			return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
+		})
+		p := &Pkg{Name: name, Dir: dir, Rel: rel, Fset: fset, Files: files}
+		p.typeCheck()
+		p.buildSuppressions()
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// typeCheck runs the go/types checker in best-effort mode, discarding
+// every error: partial Info beats no Info.
+func (p *Pkg) typeCheck() {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: stubImporter{pkgs: make(map[string]*types.Package)},
+		Error:    func(error) {}, // tolerate: stub imports guarantee errors
+	}
+	// The returned error is expected (unresolved imports); Info is
+	// still populated for everything locally inferable.
+	conf.Check(p.Rel, p.Fset, p.Files, info) //nolint:errcheck
+	p.Info = info
+}
+
+// walkTree loads every package under root, skipping testdata, vendor,
+// hidden directories, and .git.
+func walkTree(root string) ([]*Pkg, error) {
+	var pkgs []*Pkg
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if path != root && (base == "testdata" || base == "vendor" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			rel = ""
+		}
+		ps, err := loadDir(path, filepath.ToSlash(rel))
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, ps...)
+		return nil
+	})
+	return pkgs, err
+}
+
+// importAlias returns the identifier under which f imports path, "" if
+// it does not ("_" and "." imports yield ""; analyzers treat those as
+// out of scope).
+func importAlias(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if n := imp.Name.Name; n != "_" && n != "." {
+				return n
+			}
+			return ""
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+// imports reports whether f imports path under any name.
+func imports(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}

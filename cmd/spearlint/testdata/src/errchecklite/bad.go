@@ -1,0 +1,58 @@
+// Package errchecklite is a spearlint fixture for the errcheck-lite
+// check: dropped errors from spill-store and tuple-codec calls.
+package errchecklite
+
+import (
+	"spear/internal/storage"
+	"spear/internal/tuple"
+)
+
+func spill(store storage.SpillStore, key string, ts []tuple.Tuple) {
+	store.Store(key, ts)     // want "error returned by .Store is dropped"
+	defer store.Delete(key)  // want "error returned by .Delete is dropped"
+	go store.Store(key, nil) // want "error returned by .Store is dropped"
+
+	ts2, _ := store.Get(key) // want "error returned by .Get is dropped"
+	_ = ts2
+}
+
+func decode(b []byte) {
+	tuple.DecodeBatch(b)          // want "tuple.DecodeBatch is dropped"
+	t, _, _ := tuple.Decode(b)    // want "tuple.Decode is dropped"
+	ts, _ := tuple.DecodeBatch(b) // want "tuple.DecodeBatch is dropped"
+	_, _ = t, ts
+}
+
+// Good: errors bound and handled or propagated.
+func spillChecked(store storage.SpillStore, key string, ts []tuple.Tuple) error {
+	if err := store.Store(key, ts); err != nil {
+		return err
+	}
+	got, err := store.Get(key)
+	if err != nil {
+		return err
+	}
+	_ = got
+	return store.Delete(key)
+}
+
+func decodeChecked(b []byte) error {
+	ts, err := tuple.DecodeBatch(b)
+	if err != nil {
+		return err
+	}
+	_ = ts
+	return nil
+}
+
+// Good: unrelated methods that happen to share names are outside the
+// method set only when the file does not import the storage package —
+// here they do match (documented heuristic), so this fixture keeps
+// unrelated calls to differently named methods.
+type cache struct{}
+
+func (cache) Lookup(k string) string { return k }
+
+func unrelated(c cache) string {
+	return c.Lookup("x")
+}

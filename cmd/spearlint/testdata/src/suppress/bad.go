@@ -1,0 +1,28 @@
+// Package suppress is a spearlint fixture for the //lint:ignore
+// directive.
+package suppress
+
+import "math/rand"
+
+// Suppressed on the same line, with a reason: no finding.
+func sameLine() int {
+	return rand.Intn(3) //lint:ignore globalrand fixture: demonstrating inline suppression
+}
+
+// Suppressed from the line above: no finding.
+func lineAbove() int {
+	//lint:ignore globalrand fixture: demonstrating stand-alone suppression
+	return rand.Intn(3)
+}
+
+// A directive without a reason is inert: the finding stands.
+func noReason() int {
+	//lint:ignore globalrand
+	return rand.Intn(3) // want "global source"
+}
+
+// A directive for a different check does not silence this one.
+func wrongCheck() int {
+	//lint:ignore floatcmp fixture: wrong check name
+	return rand.Intn(3) // want "global source"
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spear/internal/core"
+	"spear/internal/leakcheck"
 	"spear/internal/spe"
 	"spear/internal/storage"
 )
@@ -18,6 +19,7 @@ import (
 // files, the accuracy check fails, and the window is read back and
 // processed exactly.
 func TestFileStoreFallbackEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	fs, err := storage.NewFileStore(filepath.Join(dir, "spill"))
 	if err != nil {
@@ -59,6 +61,7 @@ func TestFileStoreFallbackEndToEnd(t *testing.T) {
 // TestOutOfOrderAccuracy checks that disorder within the watermark lag
 // neither loses tuples nor breaks the accuracy guarantee.
 func TestOutOfOrderAccuracy(t *testing.T) {
+	leakcheck.Check(t)
 	mk := func() []Tuple {
 		var in []Tuple
 		state := int64(7)
@@ -106,6 +109,7 @@ func TestOutOfOrderAccuracy(t *testing.T) {
 
 // TestMergedSourcesGrouped merges two streams into a grouped CQ.
 func TestMergedSourcesGrouped(t *testing.T) {
+	leakcheck.Check(t)
 	var a, b []Tuple
 	for i := int64(0); i < 3000; i++ {
 		a = append(a, NewTuple(i*2, Str("left"), Float(10)))
@@ -135,6 +139,7 @@ func TestMergedSourcesGrouped(t *testing.T) {
 // TestEveryAggregateEndToEnd drives each built-in aggregate through the
 // whole engine and checks it against a directly computed reference.
 func TestEveryAggregateEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	var in []Tuple
 	vals := make([]float64, 0, 5000)
 	state := int64(99)
@@ -216,6 +221,7 @@ func TestEveryAggregateEndToEnd(t *testing.T) {
 // TestSeedDeterminism: identical queries with identical seeds produce
 // identical results, tuple for tuple.
 func TestSeedDeterminism(t *testing.T) {
+	leakcheck.Check(t)
 	mk := func() []Tuple {
 		var in []Tuple
 		state := int64(5)
@@ -253,6 +259,7 @@ func TestSeedDeterminism(t *testing.T) {
 // TestLateDroppedSurfacesInSummary checks late-tuple accounting reaches
 // the run summary.
 func TestLateDroppedSurfacesInSummary(t *testing.T) {
+	leakcheck.Check(t)
 	in := []Tuple{
 		NewTuple(int64(50*time.Second), Float(1)),
 		NewTuple(int64(200*time.Second), Float(1)), // advances watermark far
@@ -276,6 +283,7 @@ func TestLateDroppedSurfacesInSummary(t *testing.T) {
 // TestHugeParallelismSmallStream: more workers than tuples must not
 // deadlock or lose data.
 func TestHugeParallelismSmallStream(t *testing.T) {
+	leakcheck.Check(t)
 	in := []Tuple{NewTuple(1, Float(5)), NewTuple(2, Float(7))}
 	sink := &sinkBuf{}
 	_, err := NewQuery("wide").
@@ -298,6 +306,7 @@ func TestHugeParallelismSmallStream(t *testing.T) {
 
 // TestFromCSVEndToEnd runs a query over a CSV source.
 func TestFromCSVEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	csv := "ts,v\n"
 	for i := 0; i < 1000; i++ {
 		csv += itoa(int64(i)) + "," + itoa(int64(i%10)) + "\n"

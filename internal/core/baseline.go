@@ -35,7 +35,7 @@ func NewExactManager(cfg Config, bufferBudgetBytes int) (*ExactManager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ExactManager{cfg: cfg, buf: buf, now: time.Now}, nil
+	return &ExactManager{cfg: cfg, buf: buf, now: cfg.clock()}, nil
 }
 
 // OnTuple implements Manager.
@@ -142,7 +142,7 @@ func NewIncrementalManager(cfg Config) (*IncrementalManager, error) {
 	if cfg.Agg.Holistic() {
 		return nil, fmt.Errorf("core: %s cannot be processed incrementally", cfg.Agg)
 	}
-	return &IncrementalManager{cfg: cfg, wins: make(map[window.ID]*agg.Incremental), now: time.Now}, nil
+	return &IncrementalManager{cfg: cfg, wins: make(map[window.ID]*agg.Incremental), now: cfg.clock()}, nil
 }
 
 // OnTuple implements Manager.

@@ -14,6 +14,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"spear/internal/agg"
 	"spear/internal/metrics"
@@ -87,6 +88,12 @@ type Config struct {
 	// Metrics receives telemetry; nil records nothing.
 	Metrics *metrics.Worker
 
+	// Clock supplies wall-clock readings for processing-time telemetry
+	// (ProcTime observations) only — event-time logic never consults
+	// it. Nil selects the system clock. Tests inject a fake clock for
+	// deterministic timing assertions.
+	Clock func() time.Time
+
 	// ArchiveChunk is the number of tuples batched per write to
 	// Store; zero selects a default of 512.
 	ArchiveChunk int
@@ -148,6 +155,18 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: ArchiveChunk %d negative", c.ArchiveChunk)
 	}
 	return nil
+}
+
+// clock returns the configured telemetry clock, defaulting to the
+// system clock. This is the single sanctioned wall-clock reference in
+// the event-time packages; every manager reads time through it, and the
+// eventtime analyzer keeps it that way.
+func (c *Config) clock() func() time.Time {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	//lint:ignore eventtime telemetry-clock default; event-time logic never calls this
+	return time.Now
 }
 
 // BudgetBytes converts a byte budget into a tuple budget given the

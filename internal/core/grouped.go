@@ -72,7 +72,7 @@ func NewGroupedManager(cfg Config) (*GroupedManager, error) {
 		cfg:  cfg,
 		est:  est,
 		wins: make(map[window.ID]*groupedWin),
-		now:  time.Now,
+		now:  cfg.clock(),
 	}
 	if cfg.KnownGroups > 0 {
 		m.arc = newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk)
@@ -145,7 +145,7 @@ func (m *GroupedManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 				w = &groupedWin{gs: sample.NewGroupStats()}
 				if m.cfg.KnownGroups > 0 {
 					w.known = sample.NewGroupReservoirs(
-						m.perGroupCap(), m.cfg.Seed+int64(id), sample.AlgoL)
+						m.perGroupCap(), sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
 				}
 				m.wins[id] = w
 			}
@@ -364,7 +364,7 @@ func (m *GroupedManager) produceFromWindow(c window.Complete, scanShare time.Dur
 				keys[i] = m.cfg.KeyBy(t)
 				vals[i] = m.cfg.Value(t)
 			}
-			strata := sample.StratifiedFromBuffer(keys, vals, alloc, m.cfg.Seed+int64(c.ID))
+			strata := sample.StratifiedFromBuffer(keys, vals, alloc, sample.DeriveSeed(m.cfg.Seed, int64(c.ID)))
 			res.Groups = make(map[string]float64, len(strata))
 			sn := 0
 			for key, sv := range strata {

@@ -60,7 +60,7 @@ func NewScalarManager(cfg Config) (*ScalarManager, error) {
 		arc:       newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk),
 		wins:      make(map[window.ID]*scalarWin),
 		curBudget: cfg.BudgetTuples,
-		now:       time.Now,
+		now:       cfg.clock(),
 	}, nil
 }
 
@@ -118,7 +118,7 @@ func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 		w, ok := m.wins[id]
 		if !ok {
 			w = &scalarWin{
-				res:   sample.NewReservoir(m.curBudget, m.cfg.Seed+int64(id), sample.AlgoL),
+				res:   sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL),
 				first: pos,
 			}
 			if m.useIncremental() {

@@ -1,0 +1,116 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder captures Error output instead of failing the test.
+type recorder struct {
+	testing.TB
+	mu       sync.Mutex
+	failed   bool
+	messages []string
+	cleanups []func()
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Error(args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failed = true
+	for _, a := range args {
+		if s, ok := a.(string); ok {
+			r.messages = append(r.messages, s)
+		}
+	}
+}
+
+func (r *recorder) Cleanup(f func()) {
+	r.cleanups = append(r.cleanups, f)
+}
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCleanTestPasses(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+	r.runCleanups()
+	if r.failed {
+		t.Fatalf("clean test flagged as leaking: %v", r.messages)
+	}
+}
+
+func TestLeakIsDetected(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r, Timeout(150*time.Millisecond))
+	stop := make(chan struct{})
+	go func() {
+		<-stop // parks until the test releases it: a leak during cleanup
+	}()
+	r.runCleanups()
+	close(stop)
+	if !r.failed {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if len(r.messages) == 0 || !strings.Contains(r.messages[0], "leaked") {
+		t.Fatalf("unexpected report: %v", r.messages)
+	}
+}
+
+func TestSlowGoroutineIsAwaited(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r) // default 2s timeout must cover a 50ms straggler
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+	}()
+	r.runCleanups()
+	if r.failed {
+		t.Fatalf("straggler within timeout flagged as leak: %v", r.messages)
+	}
+}
+
+func TestIgnoreOption(t *testing.T) {
+	r := &recorder{TB: t}
+	Check(r, Timeout(150*time.Millisecond), Ignore("leakcheck.intentionalResident"))
+	stop := make(chan struct{})
+	go intentionalResident(stop)
+	r.runCleanups()
+	close(stop)
+	if r.failed {
+		t.Fatalf("ignored goroutine flagged as leak: %v", r.messages)
+	}
+}
+
+func intentionalResident(stop chan struct{}) {
+	<-stop
+}
+
+func TestParseStanza(t *testing.T) {
+	g, ok := parseStanza("goroutine 17 [chan receive]:\nmain.worker()\n\t/x/main.go:10 +0x20")
+	if !ok || g.id != 17 || g.state != "chan receive" {
+		t.Fatalf("parseStanza = %+v, %v", g, ok)
+	}
+	if _, ok := parseStanza("not a goroutine header"); ok {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestCurrentIDStable(t *testing.T) {
+	if a, b := currentID(), currentID(); a != b || a <= 0 {
+		t.Fatalf("currentID unstable: %d vs %d", a, b)
+	}
+}

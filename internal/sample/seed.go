@@ -1,0 +1,35 @@
+package sample
+
+// DeriveSeed deterministically derives an independent child seed from a
+// base seed and one or more stream labels (worker index, window id,
+// ...). It folds each label into the state and finishes with SplitMix64
+// (Steele et al., OOPSLA'14), so adjacent labels — worker 0/1/2, window
+// id w/w+1 — yield uncorrelated generator streams.
+//
+// This replaces ad-hoc arithmetic like `seed + windowID` or
+// `seed + worker*7919`, which merely offsets the label: with a plain
+// LCG-style source, nearby offsets produce overlapping sequences, so
+// "independent" per-window reservoirs would sample with correlated
+// randomness and the realized error of overlapping sliding windows
+// would co-move. Determinism policy: every random stream in the engine
+// is rooted at Config.Seed and reached only through DeriveSeed, making
+// whole runs reproducible per worker and per window.
+func DeriveSeed(base int64, labels ...int64) int64 {
+	z := uint64(base)
+	for _, l := range labels {
+		// Fold the label in with a golden-gamma step, then mix, so
+		// (a,b) and (b,a) derive different children.
+		z = (z ^ uint64(l)) + 0x9e3779b97f4a7c15
+		z = splitmix64(z)
+	}
+	return int64(splitmix64(z + 0x9e3779b97f4a7c15))
+}
+
+// splitmix64 is the finalization mix of the SplitMix64 generator: a
+// bijection on uint64 with strong avalanche (every input bit flips each
+// output bit with probability ≈ 1/2).
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -10,6 +10,7 @@ import (
 
 	"spear/internal/agg"
 	"spear/internal/core"
+	"spear/internal/leakcheck"
 	"spear/internal/storage"
 	"spear/internal/tuple"
 	"spear/internal/window"
@@ -195,6 +196,7 @@ func TestTopologyValidation(t *testing.T) {
 }
 
 func TestEndToEndScalarMean(t *testing.T) {
+	leakcheck.Check(t)
 	// 10 tumbling windows of 100 ticks, one tuple per tick, value =
 	// window index. Single worker → window means are exact.
 	var in []tuple.Tuple
@@ -227,6 +229,7 @@ func TestEndToEndScalarMean(t *testing.T) {
 }
 
 func TestEndToEndWithStatelessStage(t *testing.T) {
+	leakcheck.Check(t)
 	var in []tuple.Tuple
 	for i := 0; i < 500; i++ {
 		in = append(in, tuple.New(int64(i), tuple.Float(float64(i%2)), tuple.Int(int64(i))))
@@ -260,6 +263,7 @@ func TestEndToEndWithStatelessStage(t *testing.T) {
 }
 
 func TestEndToEndGroupedFieldsPartitioning(t *testing.T) {
+	leakcheck.Check(t)
 	// Grouped mean over 4 workers: fields partitioning must send each
 	// group to exactly one worker, so merging per-group results across
 	// workers reconstructs the exact answer.
@@ -318,6 +322,7 @@ func TestEndToEndGroupedFieldsPartitioning(t *testing.T) {
 }
 
 func TestEndToEndCountWindows(t *testing.T) {
+	leakcheck.Check(t)
 	var in []tuple.Tuple
 	for i := 0; i < 1000; i++ {
 		in = append(in, tuple.New(int64(i*3), tuple.Float(1)))
@@ -342,6 +347,7 @@ func TestEndToEndCountWindows(t *testing.T) {
 }
 
 func TestEndToEndOutOfOrderWithLag(t *testing.T) {
+	leakcheck.Check(t)
 	var in []tuple.Tuple
 	for i := 0; i < 2000; i++ {
 		in = append(in, tuple.New(int64(i), tuple.Float(1)))
@@ -368,6 +374,7 @@ func TestEndToEndOutOfOrderWithLag(t *testing.T) {
 }
 
 func TestEndToEndMultipleScalarWorkers(t *testing.T) {
+	leakcheck.Check(t)
 	// Shuffle partitioning: each of 4 workers sees ~N/4 tuples per
 	// window and produces its own (partial) window result — the
 	// paper's data-parallel scalar setup (Fig. 6).
@@ -406,6 +413,7 @@ func TestEndToEndMultipleScalarWorkers(t *testing.T) {
 }
 
 func TestRunPropagatesManagerError(t *testing.T) {
+	leakcheck.Check(t)
 	factoryErr := func(wi int) (core.Manager, error) {
 		return nil, fmt.Errorf("boom %d", wi)
 	}
@@ -440,6 +448,7 @@ func (e *erroringManager) OnWatermark(wm int64) ([]core.Result, error) {
 func (e *erroringManager) MemUsage() int { return e.inner.MemUsage() }
 
 func TestRunPropagatesRuntimeError(t *testing.T) {
+	leakcheck.Check(t)
 	var in []tuple.Tuple
 	for i := 0; i < 5000; i++ {
 		in = append(in, tuple.New(int64(i), tuple.Float(1)))
@@ -478,6 +487,7 @@ func contains(s, sub string) bool {
 }
 
 func TestBackpressureTinyQueues(t *testing.T) {
+	leakcheck.Check(t)
 	// A queue of 1 forces constant blocking; the pipeline must still
 	// complete and lose nothing.
 	var in []tuple.Tuple

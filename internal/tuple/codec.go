@@ -84,7 +84,10 @@ func Decode(b []byte) (Tuple, int, error) {
 				return Tuple{}, 0, ErrCorrupt
 			}
 			pos += sz
-			if uint64(pos)+l > uint64(len(b)) {
+			// Compare against the remaining bytes, not pos+l: a huge
+			// declared length must not wrap uint64 addition past the
+			// bound (found by FuzzTupleCodec).
+			if l > uint64(len(b)-pos) {
 				return Tuple{}, 0, ErrCorrupt
 			}
 			t.Vals = append(t.Vals, Value{kind: KindString, str: string(b[pos : pos+int(l)])})

@@ -1,0 +1,133 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeedTuples are representative tuples whose encodings seed the
+// corpus alongside the checked-in files under
+// testdata/fuzz/FuzzTupleCodec.
+func fuzzSeedTuples() [][]Tuple {
+	return [][]Tuple{
+		{},
+		{New(0)},
+		{New(1, Int(-1), Float(math.Pi), String_("hello"), Bool(true))},
+		{New(-9e18, Float(math.Inf(1)), Float(math.NaN()))},
+		{New(42, String_("")), New(43, String_("αβγ\x00\xff"))},
+		{New(7, Int(1)), New(8, Int(2)), New(9, Int(3))},
+	}
+}
+
+// FuzzTupleCodec fuzzes the binary codec with arbitrary bytes:
+//
+//  1. Decode/DecodeBatch must never panic, whatever the input
+//     (historically: a declared string length of 2^64-1 wrapped the
+//     bounds check and crashed — see TestDecodeHugeStringLenRegression).
+//  2. Any successful decode must round-trip: re-encoding the decoded
+//     tuple and decoding again yields an identical tuple, and the
+//     re-encoding is a fixed point (canonical form).
+func FuzzTupleCodec(f *testing.F) {
+	for _, ts := range fuzzSeedTuples() {
+		f.Add(EncodeBatch(ts))
+		for _, t := range ts {
+			f.Add(AppendEncode(nil, t))
+		}
+	}
+	// Adversarial seeds: truncations, bad kind bytes, huge declared
+	// counts and lengths.
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+	f.Add(append(bytes.Repeat([]byte{0}, 8), 0x01, 0x09)) // unknown kind
+	f.Add(hugeStringLenInput())
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Single-tuple decode: must not panic; success must round-trip.
+		if tup, n, err := Decode(b); err == nil {
+			if n <= 0 || n > len(b) {
+				t.Fatalf("Decode consumed %d of %d bytes", n, len(b))
+			}
+			checkRoundTrip(t, tup)
+		}
+		// Batch decode: must not panic; success must round-trip whole.
+		ts, err := DecodeBatch(b)
+		if err != nil {
+			return
+		}
+		enc := EncodeBatch(ts)
+		ts2, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if !tuplesEqual(ts, ts2) {
+			t.Fatalf("batch round-trip mismatch:\n in: %v\nout: %v", ts, ts2)
+		}
+		if enc2 := EncodeBatch(ts2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encoding is not a fixed point")
+		}
+	})
+}
+
+// checkRoundTrip asserts encode(decode(encode(t))) stability for one
+// tuple.
+func checkRoundTrip(t *testing.T, tup Tuple) {
+	t.Helper()
+	enc := AppendEncode(nil, tup)
+	tup2, n, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode of canonical encoding failed: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("canonical decode consumed %d of %d bytes", n, len(enc))
+	}
+	if !tupleEqual(tup, tup2) {
+		t.Fatalf("tuple round-trip mismatch:\n in: %v\nout: %v", tup, tup2)
+	}
+	if enc2 := AppendEncode(nil, tup2); !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encoding is not a fixed point")
+	}
+}
+
+// tupleEqual compares tuples structurally. NaN payload bits survive the
+// codec (floats travel as raw bits), so reflect.DeepEqual on the
+// bit-level representation is exact.
+func tupleEqual(a, b Tuple) bool { return reflect.DeepEqual(a, b) }
+
+func tuplesEqual(a, b []Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !tupleEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// hugeStringLenInput is the minimized crasher the fuzzer's first run
+// produced: ts=0, one KindString value declaring length 2^64-1, which
+// wrapped `uint64(pos)+l` past the bounds check and made the slice
+// expression panic.
+func hugeStringLenInput() []byte {
+	b := make([]byte, 0, 20)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0) // ts
+	b = append(b, 0x01)                   // nvals = 1
+	b = append(b, byte(KindString))
+	b = append(b, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01) // len = 2^64-1
+	return b
+}
+
+// TestDecodeHugeStringLenRegression pins the fix outside the fuzz
+// engine so plain `go test` exercises it too.
+func TestDecodeHugeStringLenRegression(t *testing.T) {
+	if _, _, err := Decode(hugeStringLenInput()); err == nil {
+		t.Fatal("Decode accepted a 2^64-1 byte string in a 20-byte input")
+	}
+	if _, err := DecodeBatch(append([]byte{0x01}, hugeStringLenInput()...)); err == nil {
+		t.Fatal("DecodeBatch accepted the wrapped-length input")
+	}
+}

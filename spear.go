@@ -31,6 +31,7 @@ import (
 	"spear/internal/core"
 	"spear/internal/dataset"
 	"spear/internal/metrics"
+	"spear/internal/sample"
 	"spear/internal/spe"
 	"spear/internal/storage"
 	"spear/internal/tuple"
@@ -516,7 +517,7 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 			KnownGroups:        q.knownGroups,
 			Store:              store,
 			Key:                fmt.Sprintf("%s/%s/%d", q.name, q.backend, wi),
-			Seed:               q.seed + int64(wi)*7919,
+			Seed:               sample.DeriveSeed(q.seed, int64(wi)),
 			DisableIncremental: q.disableIncremental,
 			ScalarEstimator:    q.scalarEst,
 			GroupedEstimator:   q.groupedEst,
