@@ -1,0 +1,13 @@
+package agg
+
+import "spear/internal/tuple"
+
+// Checkpoint codec for the incremental evaluator. The aggregate
+// function itself comes from the query definition at restore time; only
+// the running moments are state.
+
+// AppendTo appends the accumulator state (48 bytes).
+func (i *Incremental) AppendTo(dst []byte) []byte { return i.w.AppendTo(dst) }
+
+// ReadFrom restores the accumulator from rd; errors latch in rd.
+func (i *Incremental) ReadFrom(rd *tuple.WireReader) { i.w.ReadFrom(rd) }

@@ -40,17 +40,18 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 	"fig8b":  Fig8b,
 	"fig8c":  Fig8c,
 	"fig8d":  Fig8d,
-	"table2": Table2,
-	"fig9":   Fig9,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
+	"table2":     Table2,
+	"fig9":       Fig9,
+	"fig10":      Fig10,
+	"fig11":      Fig11,
+	"fig12":      Fig12,
+	"checkpoint": Checkpoint,
 }
 
 // ExperimentIDs returns all experiment ids in presentation order.
 func ExperimentIDs() []string {
 	return []string{"table1", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12"}
+		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint"}
 }
 
 // ---- dataset-specific query builders ----

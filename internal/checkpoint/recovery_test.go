@@ -1,0 +1,325 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"spear/internal/agg"
+	"spear/internal/checkpoint"
+	"spear/internal/checkpoint/checkpointtest"
+	"spear/internal/core"
+	"spear/internal/sample"
+	"spear/internal/spe"
+	"spear/internal/storage"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// The end-to-end contract: crash anywhere in the checkpoint protocol,
+// recover, and the union of pre-crash and post-recovery results —
+// values AND accelerate/exact decisions — is identical to an
+// uninterrupted run. The topologies here are deterministic by
+// construction (ordered source, shuffle phase restored, seeded
+// sampling, seeded fields routing), so identity can be asserted
+// exactly.
+
+const (
+	streamN     = 2000
+	winTicks    = 100 // tumbling window length in event-time ticks
+	ckptEvery   = 450
+	crashAtCkpt = 2 // offset 900, mid-window 9
+)
+
+// testStream alternates low-variance windows (accelerated from the
+// sample) with high-variance ones (processed exactly, fetched from
+// secondary storage), so recovery is exercised on both paths.
+func testStream(n int) []tuple.Tuple {
+	ts := make([]tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		var v float64
+		if (i/winTicks)%2 == 1 {
+			v = 100 + float64((i*7919)%1000) // wild: forces exact
+		} else {
+			v = 100 + float64(i%10)*0.01 // tame: accelerates
+		}
+		ts[i] = tuple.New(int64(i), tuple.Float(v), tuple.String_(fmt.Sprintf("g%d", i%8)))
+	}
+	return ts
+}
+
+type resKey struct {
+	worker int
+	id     window.ID
+}
+
+type runOutput map[resKey]core.Result
+
+// topo describes one deterministic test topology.
+type topo struct {
+	par     int
+	grouped bool
+}
+
+func (tc topo) factory(store storage.SpillStore) spe.ManagerFactory {
+	return func(wi int) (core.Manager, error) {
+		cfg := core.Config{
+			Spec:               window.Tumbling(time.Duration(winTicks)),
+			Value:              tuple.FieldFloat(0),
+			Epsilon:            0.05,
+			Confidence:         0.95,
+			BudgetTuples:       64,
+			Store:              store,
+			Key:                fmt.Sprintf("q/w%d", wi),
+			Seed:               sample.DeriveSeed(7, int64(wi)),
+			ArchiveChunk:       16,
+			DisableIncremental: true,
+			DeferStoreDeletes:  true,
+		}
+		if tc.grouped {
+			cfg.Agg = agg.Func{Op: agg.Mean}
+			cfg.KeyBy = tuple.FieldString(1)
+			return core.NewGroupedManager(cfg)
+		}
+		cfg.Agg = agg.Func{Op: agg.Mean}
+		return core.NewScalarManager(cfg)
+	}
+}
+
+func (tc topo) run(ts []tuple.Tuple, store storage.SpillStore, hooks *spe.CheckpointHooks) (runOutput, error) {
+	got := runOutput{}
+	var keyBy tuple.KeyExtractor
+	if tc.grouped {
+		keyBy = tuple.FieldString(1)
+	}
+	tp := spe.NewTopology(spe.Config{
+		WatermarkPeriod: winTicks,
+		Checkpoint:      hooks,
+		FieldsSeed:      99,
+		// A small queue keeps the spout within one window of the
+		// workers; checkpoints rely on this backpressure to commit
+		// while the (finite) test stream is still flowing.
+		QueueSize: 64,
+	}).SetSpout(spe.NewSliceSpout(ts))
+	tp.SetWindowed("win", tc.par, keyBy, tc.factory(store))
+	tp.SetSink(func(w int, r core.Result) { got[resKey{w, r.WindowID}] = r })
+	err := tp.Run()
+	return got, err
+}
+
+func coordFor(t *testing.T, store storage.SpillStore, par int, after func(uint64, int) error) *checkpoint.Coordinator {
+	t.Helper()
+	c, err := checkpoint.NewCoordinator(checkpoint.Config{
+		Store:        store,
+		Namespace:    "q/ckpt",
+		Workers:      par,
+		EveryTuples:  ckptEvery,
+		AfterPersist: after,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// sameResult compares everything the paper cares about: the value(s),
+// the window extent and size, and — crucially — the accelerate/exact
+// decision.
+func sameResult(a, b core.Result) bool {
+	return a.WindowID == b.WindowID && a.Start == b.Start && a.End == b.End &&
+		a.N == b.N && a.SampleN == b.SampleN && a.Mode == b.Mode &&
+		a.EstError == b.EstError && a.Scalar == b.Scalar &&
+		reflect.DeepEqual(a.Groups, b.Groups)
+}
+
+func diffOutputs(t *testing.T, want, got runOutput, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: missing result worker=%d window=%d", label, k.worker, k.id)
+			continue
+		}
+		if !sameResult(w, g) {
+			t.Errorf("%s: worker=%d window=%d\n want %v\n  got %v", label, k.worker, k.id, w, g)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: unexpected result worker=%d window=%d", label, k.worker, k.id)
+		}
+	}
+}
+
+// crashAndRecover runs the full scenario for one crash point and
+// topology: reference run, crashed run, recovery run, identity check.
+func crashAndRecover(t *testing.T, tc topo, point checkpointtest.CrashPoint) {
+	ts := testStream(streamN)
+
+	// Uninterrupted reference (no checkpointing at all).
+	ref, err := tc.run(ts, storage.NewMemStore(), nil)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no results")
+	}
+
+	// Crashed run.
+	store := storage.NewMemStore()
+	inj := &checkpointtest.Injector{Point: point, AtCheckpoint: crashAtCkpt, AtWorker: 0}
+	coord := coordFor(t, store, tc.par, inj.AfterPersist())
+	partial, err := tc.run(ts, store, inj.Arm(coord.Hooks()))
+	if !errors.Is(err, checkpointtest.ErrInjectedCrash) {
+		t.Fatalf("crashed run: err = %v, want injected crash", err)
+	}
+	if !inj.Fired() {
+		t.Fatal("crash point never armed")
+	}
+
+	// Recovery: a fresh coordinator over the surviving store.
+	coord2 := coordFor(t, store, tc.par, nil)
+	found, err := coord2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !found {
+		t.Fatal("no checkpoint recovered (checkpoint 1 committed before the crash)")
+	}
+	m, _ := coord2.Restored()
+	if m.ID != crashAtCkpt-1 || m.Offset != ckptEvery*(crashAtCkpt-1) {
+		t.Fatalf("recovered checkpoint %d at offset %d, want %d at %d",
+			m.ID, m.Offset, crashAtCkpt-1, ckptEvery*(crashAtCkpt-1))
+	}
+	resumed, err := tc.run(ts, store, coord2.Hooks())
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+
+	// Merge: windows the crashed run already emitted that the recovery
+	// re-emits must agree exactly (at-least-once output, identical
+	// content).
+	merged := runOutput{}
+	for k, v := range partial {
+		merged[k] = v
+	}
+	for k, v := range resumed {
+		if prev, dup := merged[k]; dup && !sameResult(prev, v) {
+			t.Errorf("replayed window diverged: worker=%d window=%d\n crashed %v\n resumed %v",
+				k.worker, k.id, prev, v)
+		}
+		merged[k] = v
+	}
+	diffOutputs(t, ref, merged, "merged")
+}
+
+func TestCrashRecoveryScalar(t *testing.T) {
+	points := []checkpointtest.CrashPoint{
+		checkpointtest.PreBarrier, checkpointtest.MidAlignment, checkpointtest.PostSnapshot,
+	}
+	for _, par := range []int{1, 2} {
+		for _, p := range points {
+			p := p
+			t.Run(fmt.Sprintf("par%d/%s", par, p), func(t *testing.T) {
+				crashAndRecover(t, topo{par: par}, p)
+			})
+		}
+	}
+}
+
+func TestCrashRecoveryGrouped(t *testing.T) {
+	points := []checkpointtest.CrashPoint{
+		checkpointtest.PreBarrier, checkpointtest.MidAlignment, checkpointtest.PostSnapshot,
+	}
+	for _, p := range points {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			crashAndRecover(t, topo{par: 2, grouped: true}, p)
+		})
+	}
+}
+
+// TestCrashRecoveryFileStore proves durability across "process"
+// boundaries: the crashed run and the recovery use distinct FileStore
+// instances over the same directory, so recovery sees only what was
+// durably on disk.
+func TestCrashRecoveryFileStore(t *testing.T) {
+	dir := t.TempDir()
+	tc := topo{par: 1}
+	ts := testStream(streamN)
+
+	ref, err := tc.run(ts, storage.NewMemStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store1, err := storage.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &checkpointtest.Injector{Point: checkpointtest.PostSnapshot, AtCheckpoint: crashAtCkpt, AtWorker: 0}
+	coord := coordFor(t, store1, 1, inj.AfterPersist())
+	partial, err := tc.run(ts, store1, inj.Arm(coord.Hooks()))
+	if !errors.Is(err, checkpointtest.ErrInjectedCrash) {
+		t.Fatalf("crashed run: %v", err)
+	}
+
+	store2, err := storage.NewFileStore(dir) // a new "process"
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2 := coordFor(t, store2, 1, nil)
+	if found, err := coord2.Recover(); err != nil || !found {
+		t.Fatalf("Recover = %v, %v", found, err)
+	}
+	resumed, err := tc.run(ts, store2, coord2.Hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := runOutput{}
+	for k, v := range partial {
+		merged[k] = v
+	}
+	for k, v := range resumed {
+		merged[k] = v
+	}
+	diffOutputs(t, ref, merged, "filestore merged")
+}
+
+// TestRecoveryWithoutCheckpointStartsClean: a crash before any
+// checkpoint commits must not poison the store — recovery discards the
+// partial segments and the rerun matches the reference.
+func TestRecoveryWithoutCheckpointStartsClean(t *testing.T) {
+	tc := topo{par: 1}
+	ts := testStream(streamN)
+	ref, err := tc.run(ts, storage.NewMemStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := storage.NewMemStore()
+	inj := &checkpointtest.Injector{Point: checkpointtest.PreBarrier, AtCheckpoint: 1}
+	coord := coordFor(t, store, 1, inj.AfterPersist())
+	if _, err := tc.run(ts, store, inj.Arm(coord.Hooks())); !errors.Is(err, checkpointtest.ErrInjectedCrash) {
+		t.Fatalf("crashed run: %v", err)
+	}
+
+	coord2 := coordFor(t, store, 1, nil)
+	found, err := coord2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("recovered a checkpoint that never committed")
+	}
+	rerun, err := tc.run(ts, store, coord2.Hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffOutputs(t, ref, rerun, "clean restart")
+}

@@ -3,6 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"spear/internal/storage"
 	"spear/internal/tuple"
@@ -27,15 +30,28 @@ type archive struct {
 	pending map[int64][]tuple.Tuple // pane index → buffered tuples
 	minPane int64                   // smallest pane that may still exist
 	haveMin bool
+
+	// Checkpoint bookkeeping. flushed counts the chunks stored per live
+	// pane so recovery can Truncate away chunks a crashed run appended
+	// after the snapshot. deferDel switches evictBefore from deleting
+	// panes to recording them; the checkpoint coordinator deletes them
+	// once the checkpoint that no longer references them is durable
+	// (deleting eagerly would strand a restored snapshot that still
+	// needs the pane for its exact fallback).
+	flushed  map[int64]int
+	deferDel bool
+	deferred []string
 }
 
-func newArchive(store storage.SpillStore, key string, spec window.Spec, chunk int) *archive {
+func newArchive(store storage.SpillStore, key string, spec window.Spec, chunk int, deferDel bool) *archive {
 	return &archive{
-		store:   store,
-		key:     key,
-		spec:    spec,
-		chunk:   chunk,
-		pending: make(map[int64][]tuple.Tuple),
+		store:    store,
+		key:      key,
+		spec:     spec,
+		chunk:    chunk,
+		pending:  make(map[int64][]tuple.Tuple),
+		flushed:  make(map[int64]int),
+		deferDel: deferDel,
 	}
 }
 
@@ -73,7 +89,19 @@ func (a *archive) flushPane(p int64) error {
 	if err := a.store.Store(a.paneKey(p), ts); err != nil {
 		return fmt.Errorf("core: archive pane %d: %w", p, err)
 	}
+	a.flushed[p]++
 	delete(a.pending, p)
+	return nil
+}
+
+// flushAll stores every pending chunk; the checkpoint snapshot calls it
+// so the snapshotted flushed-chunk counts cover all archived tuples.
+func (a *archive) flushAll() error {
+	for p := range a.pending {
+		if err := a.flushPane(p); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -111,6 +139,11 @@ func (a *archive) evictBefore(pos int64) error {
 	limit := a.paneOf(pos) // panes < limit end at or before pos
 	for p := a.minPane; p < limit; p++ {
 		delete(a.pending, p)
+		delete(a.flushed, p)
+		if a.deferDel {
+			a.deferred = append(a.deferred, a.paneKey(p))
+			continue
+		}
 		if err := a.store.Delete(a.paneKey(p)); err != nil {
 			return err
 		}
@@ -130,6 +163,99 @@ func (a *archive) memUsage() int {
 		}
 	}
 	return n
+}
+
+// takeDeferred returns and clears the pane keys whose deletion was
+// deferred by deferDel.
+func (a *archive) takeDeferred() []string {
+	d := a.deferred
+	a.deferred = nil
+	return d
+}
+
+// appendState flushes pending chunks and appends the archive cursor:
+// minPane, and per live pane the number of chunks stored. Pane order is
+// sorted for deterministic bytes.
+func (a *archive) appendState(dst []byte) ([]byte, error) {
+	if err := a.flushAll(); err != nil {
+		return nil, err
+	}
+	dst = tuple.AppendBool(dst, a.haveMin)
+	dst = tuple.AppendI64(dst, a.minPane)
+	panes := make([]int64, 0, len(a.flushed))
+	for p := range a.flushed {
+		panes = append(panes, p)
+	}
+	sort.Slice(panes, func(i, j int) bool { return panes[i] < panes[j] })
+	dst = tuple.AppendUvar(dst, uint64(len(panes)))
+	for _, p := range panes {
+		dst = tuple.AppendI64(dst, p)
+		dst = tuple.AppendUvar(dst, uint64(a.flushed[p]))
+	}
+	return dst, nil
+}
+
+// readState restores the cursor written by appendState; errors latch in
+// rd. Pending chunks are empty by construction (appendState flushed).
+func (a *archive) readState(rd *tuple.WireReader) {
+	a.haveMin = rd.Bool()
+	a.minPane = rd.I64()
+	n := rd.Count(2)
+	if rd.Err() != nil {
+		return
+	}
+	a.pending = make(map[int64][]tuple.Tuple)
+	a.flushed = make(map[int64]int, n)
+	a.deferred = nil
+	for i := 0; i < n; i++ {
+		p := rd.I64()
+		c := rd.Uvar()
+		if rd.Err() != nil {
+			return
+		}
+		if _, dup := a.flushed[p]; dup || c == 0 {
+			rd.Corrupt("archive pane table")
+			return
+		}
+		a.flushed[p] = int(c)
+	}
+}
+
+// rewind reconciles secondary storage with the restored cursor: panes a
+// crashed run created after the snapshot are deleted, panes it extended
+// are truncated back to the snapshotted chunk count, and panes the
+// snapshot requires must still exist.
+func (a *archive) rewind() error {
+	prefix := a.key + "/p"
+	keys, err := a.store.List(prefix)
+	if err != nil {
+		return err
+	}
+	seen := make(map[int64]bool, len(keys))
+	for _, k := range keys {
+		p, perr := strconv.ParseInt(strings.TrimPrefix(k, prefix), 10, 64)
+		if perr != nil {
+			// Foreign file under our prefix; not a pane we manage.
+			continue
+		}
+		want, live := a.flushed[p]
+		if !live {
+			if err := a.store.Delete(k); err != nil {
+				return err
+			}
+			continue
+		}
+		seen[p] = true
+		if err := a.store.Truncate(k, want); err != nil {
+			return err
+		}
+	}
+	for p := range a.flushed {
+		if !seen[p] {
+			return fmt.Errorf("core: rewind: archive pane %d missing from store", p)
+		}
+	}
+	return nil
 }
 
 func isNotFound(err error) bool {

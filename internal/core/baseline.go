@@ -26,7 +26,7 @@ func NewExactManager(cfg Config, bufferBudgetBytes int) (*ExactManager, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	wcfg := window.Config{Spec: cfg.Spec, Key: cfg.Key}
+	wcfg := window.Config{Spec: cfg.Spec, Key: cfg.Key, DeferDeletes: cfg.DeferStoreDeletes}
 	if bufferBudgetBytes > 0 {
 		wcfg.BudgetBytes = bufferBudgetBytes
 		wcfg.Store = cfg.Store

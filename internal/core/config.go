@@ -102,6 +102,14 @@ type Config struct {
 	// (the paper's future-work extension); BudgetTuples is then the
 	// starting value.
 	Budget BudgetPolicy
+
+	// DeferStoreDeletes, set by the checkpointing layer, makes the
+	// manager record Store deletions (archive panes, spill segments)
+	// instead of executing them, exposing them via TakeDeferredDeletes.
+	// A crash after a checkpoint must be able to rewind to state that
+	// still references those segments; the checkpoint coordinator
+	// executes the deletions only after the next checkpoint commits.
+	DeferStoreDeletes bool
 }
 
 // errors returned by config validation.

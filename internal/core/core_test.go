@@ -933,7 +933,7 @@ func TestEstimatorDefaults(t *testing.T) {
 func TestArchivePaneLifecycle(t *testing.T) {
 	store := storage.NewMemStore()
 	spec := window.Spec{Domain: window.TimeDomain, Range: 30, Slide: 10}
-	a := newArchive(store, "w", spec, 3)
+	a := newArchive(store, "w", spec, 3, false)
 	for ts := int64(0); ts < 50; ts++ {
 		if err := a.add(tuple.New(ts, tuple.Float(float64(ts)))); err != nil {
 			t.Fatal(err)
@@ -973,7 +973,7 @@ func TestArchivePaneLifecycle(t *testing.T) {
 		t.Error("memUsage negative")
 	}
 	// Empty archive eviction is a no-op.
-	b := newArchive(store, "x", spec, 3)
+	b := newArchive(store, "x", spec, 3, false)
 	if err := b.evictBefore(100); err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func NewGroupedManager(cfg Config) (*GroupedManager, error) {
 		now:  cfg.clock(),
 	}
 	if cfg.KnownGroups > 0 {
-		m.arc = newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk)
+		m.arc = newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk, cfg.DeferStoreDeletes)
 	} else {
 		buf, err := window.NewSingleBuffer(window.Config{
 			Spec: cfg.Spec,

@@ -57,7 +57,7 @@ func NewScalarManager(cfg Config) (*ScalarManager, error) {
 	return &ScalarManager{
 		cfg:       cfg,
 		est:       est,
-		arc:       newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk),
+		arc:       newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk, cfg.DeferStoreDeletes),
 		wins:      make(map[window.ID]*scalarWin),
 		curBudget: cfg.BudgetTuples,
 		now:       cfg.clock(),

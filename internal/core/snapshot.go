@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spear/internal/agg"
+	"spear/internal/sample"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// Checkpoint support for the window managers. Each manager serializes
+// every field that influences future output — fire cursors, per-window
+// reservoirs/moments, and the archive's pane table — into one versioned
+// blob. Map iteration is sorted so identical state produces identical
+// bytes (the checkpoint manifest checksums blobs).
+//
+// State held in secondary storage S (archive panes, spill segments) is
+// not copied into the blob; instead the blob records how many chunks of
+// each segment the snapshot covers, and RewindStore truncates/deletes
+// whatever a crashed run wrote after the snapshot. Deletions are
+// deferred while checkpointing is on (Config.DeferStoreDeletes) so a
+// rewind never needs a segment that is already gone.
+
+// Versioned type tags.
+const (
+	snapScalar      byte = 0x53 // 'S'
+	snapGrouped     byte = 0x47 // 'G'
+	snapExact       byte = 0x45 // 'E'
+	snapIncremental byte = 0x49 // 'I'
+)
+
+func badTag(kind string, tag byte, rd *tuple.WireReader) error {
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	return fmt.Errorf("%w: %s snapshot tag 0x%02x", tuple.ErrCorrupt, kind, tag)
+}
+
+// ---- ScalarManager ----
+
+// SnapshotState implements the checkpoint Snapshotter contract.
+func (m *ScalarManager) SnapshotState() ([]byte, error) {
+	dst := []byte{snapScalar}
+	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendI64(dst, int64(m.nextFire))
+	dst = tuple.AppendI64(dst, m.seq)
+	dst = tuple.AppendI64(dst, m.maxPos)
+	dst = tuple.AppendI64(dst, m.late)
+	dst = tuple.AppendUvar(dst, uint64(m.curBudget))
+	var err error
+	if dst, err = m.arc.appendState(dst); err != nil {
+		return nil, err
+	}
+	ids := sortedWinIDs(len(m.wins), func(yield func(window.ID)) {
+		for id := range m.wins {
+			yield(id)
+		}
+	})
+	dst = tuple.AppendUvar(dst, uint64(len(ids)))
+	for _, id := range ids {
+		w := m.wins[id]
+		dst = tuple.AppendI64(dst, int64(id))
+		dst = tuple.AppendI64(dst, w.first)
+		dst = w.res.AppendTo(dst)
+		dst = w.all.AppendTo(dst)
+		dst = tuple.AppendBool(dst, w.inc != nil)
+		if w.inc != nil {
+			dst = w.inc.AppendTo(dst)
+		}
+	}
+	return dst, nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (m *ScalarManager) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapScalar {
+		return badTag("scalar", tag, rd)
+	}
+	started := rd.Bool()
+	nextFire := window.ID(rd.I64())
+	seq := rd.I64()
+	maxPos := rd.I64()
+	late := rd.I64()
+	curBudget := rd.Uvar()
+	arc := newArchive(m.cfg.Store, m.cfg.Key, m.cfg.Spec, m.cfg.ArchiveChunk, m.cfg.DeferStoreDeletes)
+	arc.readState(rd)
+	n := rd.Count(2)
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	wins := make(map[window.ID]*scalarWin, n)
+	for i := 0; i < n; i++ {
+		id := window.ID(rd.I64())
+		w := &scalarWin{first: rd.I64()}
+		w.res = sample.ReadReservoir(rd)
+		w.all.ReadFrom(rd)
+		hasInc := rd.Bool()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if hasInc != m.useIncremental() {
+			return fmt.Errorf("%w: scalar snapshot incremental flag mismatches configuration", tuple.ErrCorrupt)
+		}
+		if hasInc {
+			inc, err := agg.NewIncremental(m.cfg.Agg)
+			if err != nil {
+				return err
+			}
+			inc.ReadFrom(rd)
+			w.inc = inc
+		}
+		if _, dup := wins[id]; dup {
+			return fmt.Errorf("%w: duplicate scalar window %d", tuple.ErrCorrupt, id)
+		}
+		wins[id] = w
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if seq < 0 || late < 0 || curBudget == 0 {
+		return fmt.Errorf("%w: scalar snapshot counters", tuple.ErrCorrupt)
+	}
+	m.started, m.nextFire, m.seq, m.maxPos, m.late = started, nextFire, seq, maxPos, late
+	m.curBudget = int(curBudget)
+	m.arc = arc
+	m.wins = wins
+	return nil
+}
+
+// RewindStore reconciles archive panes with the restored state.
+func (m *ScalarManager) RewindStore() error { return m.arc.rewind() }
+
+// TakeDeferredDeletes returns and clears deferred pane deletions.
+func (m *ScalarManager) TakeDeferredDeletes() []string { return m.arc.takeDeferred() }
+
+// ---- GroupedManager ----
+
+// SnapshotState implements the checkpoint Snapshotter contract.
+func (m *GroupedManager) SnapshotState() ([]byte, error) {
+	dst := []byte{snapGrouped}
+	known := m.arc != nil
+	dst = tuple.AppendBool(dst, known)
+	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendI64(dst, int64(m.nextFire))
+	dst = tuple.AppendI64(dst, m.maxPos)
+	dst = tuple.AppendI64(dst, m.late)
+	dst = tuple.AppendI64(dst, m.seq)
+	var err error
+	if known {
+		if dst, err = m.arc.appendState(dst); err != nil {
+			return nil, err
+		}
+	} else {
+		blob, err := m.buf.SnapshotState()
+		if err != nil {
+			return nil, err
+		}
+		dst = tuple.AppendBlob(dst, blob)
+	}
+	ids := sortedWinIDs(len(m.wins), func(yield func(window.ID)) {
+		for id := range m.wins {
+			yield(id)
+		}
+	})
+	dst = tuple.AppendUvar(dst, uint64(len(ids)))
+	for _, id := range ids {
+		w := m.wins[id]
+		dst = tuple.AppendI64(dst, int64(id))
+		dst = w.gs.AppendTo(dst)
+		dst = tuple.AppendBool(dst, w.known != nil)
+		if w.known != nil {
+			dst = w.known.AppendTo(dst)
+		}
+	}
+	return dst, nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (m *GroupedManager) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapGrouped {
+		return badTag("grouped", tag, rd)
+	}
+	known := rd.Bool()
+	if rd.Err() == nil && known != (m.arc != nil) {
+		return fmt.Errorf("%w: grouped snapshot mode mismatches configuration", tuple.ErrCorrupt)
+	}
+	started := rd.Bool()
+	nextFire := window.ID(rd.I64())
+	maxPos := rd.I64()
+	late := rd.I64()
+	seq := rd.I64()
+	var arc *archive
+	var bufBlob []byte
+	if known {
+		arc = newArchive(m.cfg.Store, m.cfg.Key, m.cfg.Spec, m.cfg.ArchiveChunk, m.cfg.DeferStoreDeletes)
+		arc.readState(rd)
+	} else {
+		bufBlob = rd.Blob()
+	}
+	n := rd.Count(2)
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	wins := make(map[window.ID]*groupedWin, n)
+	for i := 0; i < n; i++ {
+		id := window.ID(rd.I64())
+		w := &groupedWin{gs: sample.ReadGroupStats(rd)}
+		hasKnown := rd.Bool()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if hasKnown != known {
+			return fmt.Errorf("%w: grouped window %d reservoir flag mismatch", tuple.ErrCorrupt, id)
+		}
+		if hasKnown {
+			w.known = sample.ReadGroupReservoirs(rd)
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+		}
+		if _, dup := wins[id]; dup {
+			return fmt.Errorf("%w: duplicate grouped window %d", tuple.ErrCorrupt, id)
+		}
+		wins[id] = w
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if seq < 0 || late < 0 {
+		return fmt.Errorf("%w: grouped snapshot counters", tuple.ErrCorrupt)
+	}
+	if !known {
+		if err := m.buf.RestoreState(bufBlob); err != nil {
+			return err
+		}
+	} else {
+		m.arc = arc
+	}
+	m.started, m.nextFire, m.maxPos, m.late, m.seq = started, nextFire, maxPos, late, seq
+	m.wins = wins
+	return nil
+}
+
+// RewindStore reconciles archive panes or spill segments with the
+// restored state.
+func (m *GroupedManager) RewindStore() error {
+	if m.arc != nil {
+		return m.arc.rewind()
+	}
+	return m.buf.RewindStore()
+}
+
+// TakeDeferredDeletes returns and clears deferred deletions.
+func (m *GroupedManager) TakeDeferredDeletes() []string {
+	if m.arc != nil {
+		return m.arc.takeDeferred()
+	}
+	return m.buf.TakeDeferredDeletes()
+}
+
+// ---- ExactManager ----
+
+// SnapshotState delegates to the underlying single-buffer manager.
+func (m *ExactManager) SnapshotState() ([]byte, error) {
+	blob, err := m.buf.SnapshotState()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{snapExact}, blob...), nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (m *ExactManager) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapExact {
+		return badTag("exact", tag, rd)
+	}
+	return m.buf.RestoreState(b[1:])
+}
+
+// RewindStore reconciles spill segments with the restored state.
+func (m *ExactManager) RewindStore() error { return m.buf.RewindStore() }
+
+// TakeDeferredDeletes returns and clears deferred segment deletions.
+func (m *ExactManager) TakeDeferredDeletes() []string { return m.buf.TakeDeferredDeletes() }
+
+// ---- IncrementalManager ----
+
+// SnapshotState implements the checkpoint Snapshotter contract.
+func (m *IncrementalManager) SnapshotState() ([]byte, error) {
+	dst := []byte{snapIncremental}
+	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendI64(dst, int64(m.nextFire))
+	dst = tuple.AppendI64(dst, m.seq)
+	dst = tuple.AppendI64(dst, m.maxPos)
+	dst = tuple.AppendI64(dst, m.late)
+	ids := sortedWinIDs(len(m.wins), func(yield func(window.ID)) {
+		for id := range m.wins {
+			yield(id)
+		}
+	})
+	dst = tuple.AppendUvar(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = tuple.AppendI64(dst, int64(id))
+		dst = m.wins[id].AppendTo(dst)
+	}
+	return dst, nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (m *IncrementalManager) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapIncremental {
+		return badTag("incremental", tag, rd)
+	}
+	started := rd.Bool()
+	nextFire := window.ID(rd.I64())
+	seq := rd.I64()
+	maxPos := rd.I64()
+	late := rd.I64()
+	n := rd.Count(8 + 48)
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	wins := make(map[window.ID]*agg.Incremental, n)
+	for i := 0; i < n; i++ {
+		id := window.ID(rd.I64())
+		inc, err := agg.NewIncremental(m.cfg.Agg)
+		if err != nil {
+			return err
+		}
+		inc.ReadFrom(rd)
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		if _, dup := wins[id]; dup {
+			return fmt.Errorf("%w: duplicate incremental window %d", tuple.ErrCorrupt, id)
+		}
+		wins[id] = inc
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if seq < 0 || late < 0 {
+		return fmt.Errorf("%w: incremental snapshot counters", tuple.ErrCorrupt)
+	}
+	m.started, m.nextFire, m.seq, m.maxPos, m.late = started, nextFire, seq, maxPos, late
+	m.wins = wins
+	return nil
+}
+
+// sortedWinIDs collects window IDs from iterate and sorts them.
+func sortedWinIDs(n int, iterate func(yield func(window.ID))) []window.ID {
+	ids := make([]window.ID, 0, n)
+	iterate(func(id window.ID) { ids = append(ids, id) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,102 @@
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"spear/internal/tuple"
+)
+
+// Checkpoint codec for the symmetric hash join. The serialized state is
+// everything needed to resume exactly: both sides' keyed buffers, the
+// arrival-order eviction queue, and the emit/drop counters. Keys are
+// written sorted so identical state yields identical bytes.
+
+const snapJoiner byte = 0x4a // 'J', version 1
+
+// SnapshotState implements the checkpoint Snapshotter contract.
+func (j *Joiner) SnapshotState() ([]byte, error) {
+	dst := []byte{snapJoiner}
+	dst = tuple.AppendI64(dst, j.emitted)
+	dst = tuple.AppendI64(dst, j.dropped)
+	for si := range j.sides {
+		s := &j.sides[si]
+		keys := make([]string, 0, len(s.byKey))
+		for k := range s.byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		dst = tuple.AppendUvar(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = tuple.AppendStr(dst, k)
+			dst = tuple.AppendBlob(dst, tuple.EncodeBatch(s.byKey[k]))
+		}
+		// The live suffix of the eviction queue; the evicted prefix is
+		// dead weight a restore need not carry.
+		live := s.order[s.oldest:]
+		dst = tuple.AppendUvar(dst, uint64(len(live)))
+		for _, e := range live {
+			dst = tuple.AppendStr(dst, e.key)
+			dst = tuple.AppendI64(dst, e.ts)
+		}
+	}
+	return dst, nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (j *Joiner) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapJoiner {
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		return fmt.Errorf("%w: joiner snapshot tag 0x%02x", tuple.ErrCorrupt, tag)
+	}
+	emitted := rd.I64()
+	dropped := rd.I64()
+	var sides [2]sideState
+	for si := range sides {
+		nk := rd.Count(2)
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		byKey := make(map[string][]tuple.Tuple, nk)
+		for i := 0; i < nk; i++ {
+			k := rd.Str()
+			blob := rd.Blob()
+			if rd.Err() != nil {
+				return rd.Err()
+			}
+			ts, err := tuple.DecodeBatch(blob)
+			if err != nil {
+				return err
+			}
+			if _, dup := byKey[k]; dup {
+				return fmt.Errorf("%w: duplicate join key %q", tuple.ErrCorrupt, k)
+			}
+			byKey[k] = ts
+		}
+		no := rd.Count(9)
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		order := make([]keyedTs, no)
+		for i := range order {
+			order[i] = keyedTs{key: rd.Str(), ts: rd.I64()}
+		}
+		sides[si] = sideState{byKey: byKey, order: order}
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if emitted < 0 || dropped < 0 {
+		return fmt.Errorf("%w: negative joiner counter", tuple.ErrCorrupt)
+	}
+	// Key extractors are configuration, not state.
+	sides[Left].key = j.cfg.LeftKey
+	sides[Right].key = j.cfg.RightKey
+	j.sides = sides
+	j.emitted = emitted
+	j.dropped = dropped
+	return nil
+}

@@ -1,0 +1,30 @@
+package metrics
+
+// CheckpointMetrics bundles the fault-tolerance telemetry: how long
+// snapshots take, how much state they write, how long barrier alignment
+// stalls workers, and how long recovery took. One instance serves a
+// whole run (all workers observe into the same histograms, which are
+// already goroutine-safe).
+type CheckpointMetrics struct {
+	// SnapshotTime records each per-operator snapshot duration in
+	// nanoseconds (serialize + persist).
+	SnapshotTime Histogram
+	// AlignStall records each barrier-alignment round's stall in
+	// nanoseconds at the windowed workers — the time between the first
+	// and last barrier of a round, during which post-barrier input is
+	// buffered instead of processed.
+	AlignStall Histogram
+	// SnapshotBytes counts total snapshot bytes persisted (blobs and
+	// manifests).
+	SnapshotBytes Counter
+	// Completed counts committed checkpoints; Failed counts rounds
+	// aborted by an error.
+	Completed Counter
+	Failed    Counter
+	// RecoveryTime is the nanoseconds spent restoring operator state
+	// and rewinding secondary storage at startup.
+	RecoveryTime Gauge
+	// LastBytes is the size of the most recently committed checkpoint
+	// (all blobs plus the manifest).
+	LastBytes Gauge
+}

@@ -8,7 +8,6 @@ package sample
 
 import (
 	"math"
-	"math/rand"
 )
 
 // Reservoir maintains a uniform simple random sample (s.r.s.) of a
@@ -24,7 +23,7 @@ type Reservoir struct {
 	cap   int
 	items []float64
 	seen  int64
-	rng   *rand.Rand
+	rng   *prng
 	algo  ReservoirAlgo
 
 	// Algorithm L state.
@@ -54,7 +53,7 @@ func NewReservoir(capacity int, seed int64, algo ReservoirAlgo) *Reservoir {
 	}
 	r := &Reservoir{
 		cap:  capacity,
-		rng:  rand.New(rand.NewSource(seed)),
+		rng:  newPRNG(seed),
 		algo: algo,
 		w:    1,
 	}

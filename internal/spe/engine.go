@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"sync"
+	"time"
 
 	"spear/internal/core"
 	"spear/internal/tuple"
@@ -42,6 +43,58 @@ type Config struct {
 	// a closing watermark at the maximum observed event time so every
 	// complete window fires before shutdown.
 	FinalWatermark bool
+	// Checkpoint enables aligned barrier snapshots; nil runs without
+	// checkpointing (zero overhead on the hot path). The hooks are
+	// wired by the checkpoint coordinator.
+	Checkpoint *CheckpointHooks
+	// FieldsSeed, when non-zero, replaces the per-process randomized
+	// maphash fields partitioner with a deterministic seeded hash, so
+	// group→worker routing survives restarts. Required for checkpoint
+	// recovery of grouped (keyBy) topologies.
+	FieldsSeed int64
+}
+
+// CheckpointHooks is the engine side of the checkpoint protocol. The
+// spout polls Trigger between tuples and broadcasts a barrier when a
+// checkpoint starts; every worker aligns barriers across its senders;
+// windowed workers call Snapshot at each alignment point. On restart,
+// Restore is called per worker before any goroutine starts and the
+// spout is sought to StartOffset.
+//
+// All hooks are optional except that a non-nil CheckpointHooks with a
+// nil Trigger never checkpoints (useful for restore-only runs).
+type CheckpointHooks struct {
+	// StartOffset is the absolute tuple offset to resume the spout
+	// from; 0 starts from the beginning.
+	StartOffset int64
+	// Restore is called once per windowed worker, before the run
+	// starts, to load the manager's snapshotted state.
+	Restore func(worker int, mgr core.Manager) error
+	// Trigger is polled by the spout before emitting the tuple at
+	// offset. Returning ok starts checkpoint id: a barrier is
+	// broadcast covering exactly the first offset tuples. Returning an
+	// error aborts the run (fault injection uses this as the
+	// "crash before barrier" point).
+	Trigger func(offset int64) (id uint64, ok bool, err error)
+	// Snapshot is called by each windowed worker at its alignment
+	// point for checkpoint id. An error aborts the run.
+	Snapshot func(id uint64, worker int, mgr core.Manager) error
+	// BarrierSeen, when non-nil, observes every barrier arrival at a
+	// windowed worker (fault injection uses it as the "crash mid-
+	// alignment" point). An error aborts the run.
+	BarrierSeen func(id uint64, worker, sender int) error
+	// AlignStall receives the duration each windowed worker spent
+	// aligning a barrier round (telemetry).
+	AlignStall func(time.Duration)
+	// Now supplies the clock for stall timing; nil uses time.Now.
+	Now func() time.Time
+}
+
+func (h *CheckpointHooks) clock() func() time.Time {
+	if h != nil && h.Now != nil {
+		return h.Now
+	}
+	return time.Now
 }
 
 type statelessStage struct {
@@ -190,10 +243,14 @@ func (tp *Topology) Run() error {
 	// windowed stage.
 	winPartitioner := func() Partitioner {
 		if tp.windowed.keyBy != nil {
+			if tp.cfg.FieldsSeed != 0 {
+				return NewSeededFields(tp.windowed.keyBy, tp.cfg.FieldsSeed)
+			}
 			return NewFields(tp.windowed.keyBy, fieldsSeed)
 		}
 		return NewShuffle()
 	}
+	hooks := tp.cfg.Checkpoint
 
 	// Build every worker's manager before starting any goroutine so a
 	// factory failure cannot leak a half-started pipeline.
@@ -204,6 +261,27 @@ func (tp *Topology) Run() error {
 			return fmt.Errorf("spe: windowed worker %d: %w", wi, err)
 		}
 		managers[wi] = mgr
+	}
+
+	// Checkpoint recovery: restore operator state and seek the spout
+	// before any goroutine starts.
+	if hooks != nil {
+		if hooks.Restore != nil {
+			for wi, mgr := range managers {
+				if err := hooks.Restore(wi, mgr); err != nil {
+					return fmt.Errorf("spe: restore worker %d: %w", wi, err)
+				}
+			}
+		}
+		if hooks.StartOffset > 0 {
+			sk, ok := tp.spout.(Seeker)
+			if !ok {
+				return fmt.Errorf("spe: checkpoint recovery from offset %d requires a seekable spout", hooks.StartOffset)
+			}
+			if err := sk.SeekTo(hooks.StartOffset); err != nil {
+				return fmt.Errorf("spe: seek spout: %w", err)
+			}
+		}
 	}
 
 	var wgSpout, wgSink sync.WaitGroup
@@ -225,12 +303,37 @@ func (tp *Topology) Run() error {
 		} else {
 			part = winPartitioner()
 		}
+		var offset int64
+		if hooks != nil {
+			offset = hooks.StartOffset
+			if offset > 0 {
+				// Replayed tuple number k must reach the worker the
+				// crashed run sent it to: restore the round-robin phase.
+				if _, isShuffle := part.(*Shuffle); isShuffle {
+					part = NewShuffleAt(int(offset % int64(len(firstIn))))
+				}
+			}
+		}
 		var gen *watermark.Generator
 		if tp.cfg.WatermarkPeriod > 0 {
 			gen = watermark.NewGenerator(tp.cfg.WatermarkPeriod, tp.cfg.WatermarkLag)
 		}
 		seen := false
 		for {
+			// Poll for a checkpoint before fetching the next tuple so the
+			// barrier covers exactly the first offset tuples of the
+			// stream — that offset is what the manifest records and what
+			// recovery seeks the spout to.
+			if hooks != nil && hooks.Trigger != nil && failed.get() == nil {
+				id, start, err := hooks.Trigger(offset)
+				if err != nil {
+					failed.set(fmt.Errorf("spe: checkpoint trigger: %w", err))
+				} else if start {
+					for _, c := range firstIn {
+						c <- Message{IsBarrier: true, Barrier: id, Sender: 0}
+					}
+				}
+			}
 			t, ok := tp.spout.Next()
 			if !ok {
 				break
@@ -246,7 +349,8 @@ func (tp *Topology) Run() error {
 					}
 				}
 			}
-			firstIn[part.Route(t, len(firstIn))] <- Message{Tuple: t}
+			firstIn[part.Route(t, len(firstIn))] <- Message{Tuple: t, Sender: 0}
+			offset++
 		}
 		// At end of a bounded stream every tuple has been observed,
 		// so a +∞ closing watermark fires every window holding data
@@ -283,20 +387,47 @@ func (tp *Topology) Run() error {
 					part = NewShuffle()
 				}
 				tracker := watermark.NewTracker(senders)
-				for msg := range in {
+				var al *barrierAligner
+				if hooks != nil {
+					al = newBarrierAligner(senders, hooks.clock(), nil)
+				}
+				process := func(msg Message) {
 					if msg.IsWM {
 						if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
 							for _, c := range nextIn {
 								c <- Message{IsWM: true, WM: wm, Sender: wi}
 							}
 						}
-						continue
+						return
 					}
 					if failed.get() != nil {
-						continue
+						return
 					}
 					if out, ok := fn(msg.Tuple); ok {
-						nextIn[part.Route(out, len(nextIn))] <- Message{Tuple: out}
+						nextIn[part.Route(out, len(nextIn))] <- Message{Tuple: out, Sender: wi}
+					}
+				}
+				for msg := range in {
+					if al == nil || (!al.Aligning() && !msg.IsBarrier) {
+						process(msg)
+						continue
+					}
+					events, err := al.Observe(msg)
+					if err != nil {
+						failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.stages[si].name, wi, err))
+						continue
+					}
+					for _, ev := range events {
+						if ev.snapshot {
+							// Stateless stages have nothing to snapshot;
+							// the alignment point just forwards the
+							// barrier to every downstream worker.
+							for _, c := range nextIn {
+								c <- Message{IsBarrier: true, Barrier: ev.id, Sender: wi}
+							}
+							continue
+						}
+						process(ev.msg)
 					}
 				}
 			}(si, wi, stageIn[si][wi], s.fn)
@@ -322,9 +453,13 @@ func (tp *Topology) Run() error {
 		go func(wi int, in chan Message, mgr core.Manager) {
 			defer wgWin.Done()
 			tracker := watermark.NewTracker(winSenders)
-			for msg := range in {
+			var al *barrierAligner
+			if hooks != nil {
+				al = newBarrierAligner(winSenders, hooks.clock(), hooks.AlignStall)
+			}
+			process := func(msg Message) {
 				if failed.get() != nil {
-					continue
+					return
 				}
 				var rs []core.Result
 				var err error
@@ -337,10 +472,40 @@ func (tp *Topology) Run() error {
 				}
 				if err != nil {
 					failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
-					continue
+					return
 				}
 				for _, r := range rs {
 					results <- sinkItem{worker: wi, res: r}
+				}
+			}
+			for msg := range in {
+				if msg.IsBarrier && hooks != nil && hooks.BarrierSeen != nil {
+					if err := hooks.BarrierSeen(msg.Barrier, wi, msg.Sender); err != nil {
+						failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+					}
+				}
+				if al == nil || (!al.Aligning() && !msg.IsBarrier) {
+					process(msg)
+					continue
+				}
+				events, err := al.Observe(msg)
+				if err != nil {
+					failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+					continue
+				}
+				for _, ev := range events {
+					if ev.snapshot {
+						if failed.get() != nil {
+							continue
+						}
+						if hooks.Snapshot != nil {
+							if err := hooks.Snapshot(ev.id, wi, mgr); err != nil {
+								failed.set(fmt.Errorf("spe: snapshot %d at %s[%d]: %w", ev.id, tp.windowed.name, wi, err))
+							}
+						}
+						continue
+					}
+					process(ev.msg)
 				}
 			}
 		}(wi, winIn[wi], mgr)

@@ -16,13 +16,17 @@ import (
 )
 
 // Message is the unit of transfer between workers: either a data tuple
-// or a watermark control tuple (§2: "control-tuples carrying a
-// timestamp ... sent by SPE components periodically").
+// or a control tuple — a watermark (§2: "control-tuples carrying a
+// timestamp ... sent by SPE components periodically") or a checkpoint
+// barrier (Chandy-Lamport-style, injected by the spout and aligned by
+// every multi-input worker before it snapshots).
 type Message struct {
-	Tuple  tuple.Tuple
-	WM     int64
-	Sender int // upstream worker index, for watermark min-merging
-	IsWM   bool
+	Tuple     tuple.Tuple
+	WM        int64
+	Sender    int // upstream worker index, for watermark/barrier merging
+	IsWM      bool
+	IsBarrier bool
+	Barrier   uint64 // checkpoint id; meaningful when IsBarrier
 }
 
 // Partitioner decides which of n downstream workers receives a tuple —
@@ -39,6 +43,17 @@ type Shuffle struct{ next int }
 
 // NewShuffle returns a round-robin partitioner.
 func NewShuffle() *Shuffle { return &Shuffle{} }
+
+// NewShuffleAt returns a round-robin partitioner whose phase starts at
+// start. Checkpoint recovery uses it so the spout routes replayed tuple
+// number k to the same worker the crashed run sent it to: the phase of
+// a fresh shuffle after k tuples is simply k.
+func NewShuffleAt(start int) *Shuffle {
+	if start < 0 {
+		start = 0
+	}
+	return &Shuffle{next: start}
+}
 
 // Route implements Partitioner.
 func (s *Shuffle) Route(_ tuple.Tuple, n int) int {
@@ -67,6 +82,40 @@ func NewFields(key tuple.KeyExtractor, seed maphash.Seed) *Fields {
 // Route implements Partitioner.
 func (f *Fields) Route(t tuple.Tuple, n int) int {
 	return int(maphash.String(f.seed, f.key(t)) % uint64(n))
+}
+
+// SeededFields routes tuples by a deterministic seeded hash of the
+// grouping key (FNV-1a with a SplitMix64-style finalizer). Unlike
+// Fields, whose maphash seed is randomized per process, SeededFields
+// routes every group to the same worker across restarts — required for
+// checkpoint recovery, where replayed tuples must reach the worker
+// whose restored state already holds their group.
+type SeededFields struct {
+	key  tuple.KeyExtractor
+	seed uint64
+}
+
+// NewSeededFields returns a deterministic hash partitioner over key.
+func NewSeededFields(key tuple.KeyExtractor, seed int64) *SeededFields {
+	if key == nil {
+		panic("spe: SeededFields partitioner needs a key extractor")
+	}
+	return &SeededFields{key: key, seed: uint64(seed)}
+}
+
+// Route implements Partitioner.
+func (f *SeededFields) Route(t tuple.Tuple, n int) int {
+	key := f.key(t)
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	h ^= f.seed * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return int(h % uint64(n))
 }
 
 // Global routes everything to worker 0 — used for single-worker sinks.

@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"fmt"
 	"math/rand"
 
 	"spear/internal/tuple"
@@ -11,6 +12,16 @@ import (
 type Spout interface {
 	// Next returns the next tuple; ok=false ends the stream.
 	Next() (t tuple.Tuple, ok bool)
+}
+
+// Seeker is implemented by spouts that support replay from an absolute
+// tuple offset. Checkpoint recovery requires it: the engine seeks the
+// spout to the offset recorded in the restored checkpoint manifest and
+// replays from there.
+type Seeker interface {
+	// SeekTo positions the stream so the next call to Next returns the
+	// tuple at the given zero-based offset.
+	SeekTo(offset int64) error
 }
 
 // SliceSpout replays an in-memory stream — the paper's "single source
@@ -31,6 +42,19 @@ func (s *SliceSpout) Next() (tuple.Tuple, bool) {
 	t := s.tuples[s.pos]
 	s.pos++
 	return t, true
+}
+
+// SeekTo implements Seeker. Seeking past the end yields an exhausted
+// spout, which is valid (the checkpoint may cover the whole stream).
+func (s *SliceSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("spe: seek to negative offset %d", offset)
+	}
+	if offset > int64(len(s.tuples)) {
+		offset = int64(len(s.tuples))
+	}
+	s.pos = int(offset)
+	return nil
 }
 
 // FuncSpout adapts a generator function to the Spout interface, letting

@@ -1,0 +1,38 @@
+package stats
+
+import "spear/internal/tuple"
+
+// Checkpoint codec for the Welford accumulator: six fixed-width
+// little-endian fields, 48 bytes total (matching MemSize). Every
+// higher-level snapshot (reservoir stats, incremental aggregates,
+// per-group accumulators) embeds this encoding.
+
+// AppendTo appends the accumulator's state (48 bytes).
+func (w *Welford) AppendTo(dst []byte) []byte {
+	dst = tuple.AppendI64(dst, w.n)
+	dst = tuple.AppendF64(dst, w.mean)
+	dst = tuple.AppendF64(dst, w.m2)
+	dst = tuple.AppendF64(dst, w.min)
+	dst = tuple.AppendF64(dst, w.max)
+	dst = tuple.AppendF64(dst, w.sum)
+	return dst
+}
+
+// ReadFrom restores the accumulator from r. Errors latch in r; callers
+// check r.Err (or Done) once after decoding the enclosing snapshot.
+func (w *Welford) ReadFrom(r *tuple.WireReader) {
+	w.n = r.I64()
+	w.mean = r.F64()
+	w.m2 = r.F64()
+	w.min = r.F64()
+	w.max = r.F64()
+	w.sum = r.F64()
+	if w.n < 0 {
+		// Negative counts would poison every downstream division;
+		// surface them as corruption rather than restoring garbage.
+		r.Corrupt("negative welford count")
+	}
+	if r.Err() != nil {
+		*w = Welford{}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -37,6 +38,15 @@ type SpillStore interface {
 	// Delete drops a segment. Deleting a missing key is a no-op: the
 	// evict path runs for every window whether or not it spilled.
 	Delete(key string) error
+	// List returns every stored key with the given prefix, sorted.
+	// Checkpoint recovery uses it to reconcile segments written after
+	// the restored snapshot.
+	List(prefix string) ([]string, error)
+	// Truncate keeps only the first chunks Store-calls' worth of data
+	// under key, discarding later appends. Truncating a missing key, or
+	// to a count at or beyond what is stored, is a no-op. Recovery uses
+	// it to rewind a segment to its checkpointed length.
+	Truncate(key string, chunks int) error
 	// Stats reports cumulative operation counts and bytes moved.
 	Stats() Stats
 }
@@ -110,6 +120,39 @@ func (m *MemStore) Delete(key string) error {
 	return nil
 }
 
+// List implements SpillStore.
+func (m *MemStore) List(prefix string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var keys []string
+	for k := range m.segs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Truncate implements SpillStore.
+func (m *MemStore) Truncate(key string, chunks int) error {
+	if chunks < 0 {
+		return fmt.Errorf("storage: negative chunk count %d", chunks)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	segs, ok := m.segs[key]
+	if !ok || chunks >= len(segs) {
+		return nil
+	}
+	if chunks == 0 {
+		delete(m.segs, key)
+		return nil
+	}
+	m.segs[key] = segs[:chunks:chunks]
+	return nil
+}
+
 // Stats implements SpillStore.
 func (m *MemStore) Stats() Stats {
 	m.mu.Lock()
@@ -146,37 +189,123 @@ func NewFileStore(dir string) (*FileStore, error) {
 	return &FileStore{dir: dir}, nil
 }
 
-func (f *FileStore) path(key string) string {
-	// Keys are engine-generated (worker id + window id), but sanitize
-	// path separators defensively.
-	safe := make([]byte, 0, len(key))
+// encodeKey maps a segment key to a filesystem-safe file name
+// reversibly: bytes in [A-Za-z0-9._-] pass through, everything else is
+// percent-encoded as %XX. List depends on the encoding being lossless
+// to recover the original keys from directory entries.
+func encodeKey(key string) string {
+	const hex = "0123456789ABCDEF"
+	safe := make([]byte, 0, len(key)+8)
 	for i := 0; i < len(key); i++ {
 		c := key[i]
-		if c == '/' || c == '\\' || c == 0 {
-			c = '_'
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.' || c == '_' || c == '-':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '%', hex[c>>4], hex[c&0x0f])
 		}
-		safe = append(safe, c)
 	}
-	return filepath.Join(f.dir, string(safe)+".seg")
+	return string(safe)
+}
+
+// decodeKey reverses encodeKey. Malformed escapes report an error so a
+// stray file in the store directory cannot masquerade as a segment.
+func decodeKey(name string) (string, error) {
+	unhex := func(c byte) (byte, bool) {
+		switch {
+		case c >= '0' && c <= '9':
+			return c - '0', true
+		case c >= 'A' && c <= 'F':
+			return c - 'A' + 10, true
+		}
+		return 0, false
+	}
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '%' {
+			out = append(out, c)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", fmt.Errorf("storage: truncated escape in %q", name)
+		}
+		hi, ok1 := unhex(name[i+1])
+		lo, ok2 := unhex(name[i+2])
+		if !ok1 || !ok2 {
+			return "", fmt.Errorf("storage: bad escape in %q", name)
+		}
+		out = append(out, hi<<4|lo)
+		i += 2
+	}
+	return string(out), nil
+}
+
+const segSuffix = ".seg"
+
+func (f *FileStore) path(key string) string {
+	return filepath.Join(f.dir, encodeKey(key)+segSuffix)
+}
+
+// writeAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place, so a crash mid-write
+// leaves either the old contents or the new — never a torn segment.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".spill-*.tmp")
+	if err != nil {
+		return fmt.Errorf("storage: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: write temp: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: fsync temp: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: close temp: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: rename temp: %w", err)
+	}
+	// Sync the directory so the rename itself survives a power loss.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
 }
 
 // Store implements SpillStore. Chunks are appended with a length-framed
-// batch encoding.
+// batch encoding. The append is crash-safe: the existing segment (if
+// any) plus the new chunk are written to a temp file, fsynced, and
+// renamed over the segment, so Get never observes a torn write.
 func (f *FileStore) Store(key string, ts []tuple.Tuple) error {
 	enc := tuple.EncodeBatch(ts)
-	framed := make([]byte, 0, len(enc)+8)
-	framed = appendUint64(framed, uint64(len(enc)))
-	framed = append(framed, enc...)
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	fh, err := os.OpenFile(f.path(key), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("storage: open segment: %w", err)
+	path := f.path(key)
+	prev, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: read segment: %w", err)
 	}
-	defer fh.Close()
-	if _, err := fh.Write(framed); err != nil {
-		return fmt.Errorf("storage: write segment: %w", err)
+	framed := make([]byte, 0, len(prev)+len(enc)+8)
+	framed = append(framed, prev...)
+	framed = appendUint64(framed, uint64(len(enc)))
+	framed = append(framed, enc...)
+	if err := writeAtomic(path, framed); err != nil {
+		return err
 	}
 	f.stats.Stores++
 	f.stats.BytesStored += int64(len(enc))
@@ -229,6 +358,75 @@ func (f *FileStore) Delete(key string) error {
 	}
 	f.stats.Deletes++
 	return nil
+}
+
+// List implements SpillStore.
+func (f *FileStore) List(prefix string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list dir: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		key, err := decodeKey(strings.TrimSuffix(name, segSuffix))
+		if err != nil {
+			// Not one of ours (e.g. a leftover temp or foreign file):
+			// skip rather than fail the whole listing.
+			continue
+		}
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Truncate implements SpillStore. The surviving frames are rewritten
+// atomically, so a crash mid-truncate leaves the old segment intact.
+func (f *FileStore) Truncate(key string, chunks int) error {
+	if chunks < 0 {
+		return fmt.Errorf("storage: negative chunk count %d", chunks)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	path := f.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("storage: read segment: %w", err)
+	}
+	// Walk the length-framed chunks to find where chunk #chunks ends.
+	pos, n := 0, 0
+	for pos < len(data) && n < chunks {
+		if pos+8 > len(data) {
+			return fmt.Errorf("storage: truncate %q: %w", key, tuple.ErrCorrupt)
+		}
+		sz := int(readUint64(data[pos:]))
+		if sz < 0 || pos+8+sz > len(data) {
+			return fmt.Errorf("storage: truncate %q: %w", key, tuple.ErrCorrupt)
+		}
+		pos += 8 + sz
+		n++
+	}
+	if n < chunks || pos >= len(data) {
+		return nil // already at or below the requested length
+	}
+	if pos == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("storage: truncate remove: %w", err)
+		}
+		return nil
+	}
+	return writeAtomic(path, data[:pos])
 }
 
 // Stats implements SpillStore.
@@ -307,6 +505,18 @@ func (l *LatencyStore) Get(key string) ([]tuple.Tuple, error) {
 func (l *LatencyStore) Delete(key string) error {
 	l.delay(0)
 	return l.inner.Delete(key)
+}
+
+// List implements SpillStore.
+func (l *LatencyStore) List(prefix string) ([]string, error) {
+	l.delay(0)
+	return l.inner.List(prefix)
+}
+
+// Truncate implements SpillStore.
+func (l *LatencyStore) Truncate(key string, chunks int) error {
+	l.delay(0)
+	return l.inner.Truncate(key, chunks)
 }
 
 // Stats implements SpillStore.

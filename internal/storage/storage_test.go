@@ -2,6 +2,8 @@ package storage
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -188,5 +190,159 @@ func BenchmarkMemStoreRoundtrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		s.Delete("k")
+	}
+}
+
+func testListTruncate(t *testing.T, s SpillStore) {
+	t.Helper()
+	for _, k := range []string{"op/a", "op/b", "other/c"} {
+		if err := s.Store(k, mkTuples(2, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Store("op/a", mkTuples(3, 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := s.List("op/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "op/a" || keys[1] != "op/b" {
+		t.Fatalf("List(op/) = %v", keys)
+	}
+	all, err := s.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List(\"\") = %v, %v", all, err)
+	}
+
+	// Truncate back to the first chunk drops the appended tuples.
+	if err := s.Truncate("op/a", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("op/a")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("after Truncate(1): %d tuples, err %v", len(got), err)
+	}
+	// Truncating at or beyond the stored length is a no-op.
+	if err := s.Truncate("op/a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = s.Get("op/a"); len(got) != 2 {
+		t.Fatalf("Truncate beyond length changed data: %d tuples", len(got))
+	}
+	// Truncating a missing key is a no-op.
+	if err := s.Truncate("never", 3); err != nil {
+		t.Fatalf("Truncate(missing) = %v", err)
+	}
+	// Truncate to zero removes the segment entirely.
+	if err := s.Truncate("op/b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("op/b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Truncate(0) left segment visible: %v", err)
+	}
+	keys, err = s.List("op/")
+	if err != nil || len(keys) != 1 || keys[0] != "op/a" {
+		t.Fatalf("List after Truncate(0) = %v, %v", keys, err)
+	}
+	// Negative counts are rejected.
+	if err := s.Truncate("op/a", -1); err == nil {
+		t.Fatal("Truncate(-1) accepted")
+	}
+}
+
+func TestMemStoreListTruncate(t *testing.T) { testListTruncate(t, NewMemStore()) }
+
+func TestFileStoreListTruncate(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testListTruncate(t, fs)
+}
+
+func TestLatencyStoreListTruncate(t *testing.T) {
+	testListTruncate(t, NewLatencyStore(NewMemStore(), 0, 0, func(time.Duration) {}))
+}
+
+func TestKeyEncodingRoundTrip(t *testing.T) {
+	keys := []string{
+		"plain", "with/slash", "back\\slash", "nul\x00byte",
+		"perc%ent", "sp ace", "unicode-é世", "q/spear/0#3", "",
+	}
+	for _, k := range keys {
+		enc := encodeKey(k)
+		for i := 0; i < len(enc); i++ {
+			c := enc[i]
+			ok := c == '.' || c == '_' || c == '-' || c == '%' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("encodeKey(%q) produced unsafe byte %q in %q", k, c, enc)
+			}
+		}
+		dec, err := decodeKey(enc)
+		if err != nil || dec != k {
+			t.Fatalf("round trip %q -> %q -> %q (err %v)", k, enc, dec, err)
+		}
+	}
+	for _, bad := range []string{"%", "%1", "%zz", "%G0"} {
+		if _, err := decodeKey(bad); err == nil {
+			t.Fatalf("decodeKey(%q) accepted malformed escape", bad)
+		}
+	}
+}
+
+// TestFileStoreTornWriteInvisible is the crash-safety contract: because
+// Store writes to a temp file and renames, a crash mid-write can leave
+// a stray temp file but never a half-written segment. Simulate the
+// crash by planting a torn temp file next to a valid segment and
+// verify Get and List see only committed data.
+func TestFileStoreTornWriteInvisible(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Store("seg", mkTuples(4, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crashed append: partial frame bytes in an uncommitted temp file.
+	torn := []byte{0xff, 0xee, 0xdd} // garbage, shorter than a frame header
+	if err := os.WriteFile(filepath.Join(dir, ".spill-12345.tmp"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := fs.Get("seg")
+	if err != nil || len(got) != 4 {
+		t.Fatalf("Get after torn temp = %d tuples, err %v", len(got), err)
+	}
+	keys, err := fs.List("")
+	if err != nil || len(keys) != 1 || keys[0] != "seg" {
+		t.Fatalf("List after torn temp = %v, %v", keys, err)
+	}
+
+	// Even if a crashed run somehow left garbage at the *end* of a
+	// committed file (e.g. a pre-atomic-store legacy segment), Get must
+	// error rather than return partial data silently.
+	path := filepath.Join(dir, encodeKey("seg")+segSuffix)
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte{0x09, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	if _, err := fs.Get("seg"); !errors.Is(err, tuple.ErrCorrupt) {
+		t.Fatalf("Get(torn tail) = %v, want ErrCorrupt", err)
+	}
+	// Truncate to the intact prefix repairs the segment.
+	if err := fs.Truncate("seg", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fs.Get("seg"); err != nil || len(got) != 4 {
+		t.Fatalf("Get after repair = %d tuples, err %v", len(got), err)
 	}
 }

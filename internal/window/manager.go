@@ -68,6 +68,13 @@ type Config struct {
 	// produced from metadata alone; they must only return true for
 	// windows they know are non-empty.
 	SkipCollect func(id ID) bool
+	// DeferDeletes, set by the checkpointing layer, makes the manager
+	// record segment deletions instead of executing them. A crash after
+	// a checkpoint must be able to rewind to state that still needs
+	// those segments; the checkpoint coordinator collects the deferred
+	// keys at snapshot time (TakeDeferredDeletes) and deletes them only
+	// once the checkpoint that no longer needs them is durable.
+	DeferDeletes bool
 }
 
 func (c Config) validate() error {
@@ -97,6 +104,8 @@ type SingleBuffer struct {
 	late       int64
 	spilledCnt int64
 	segSeq     int // distinguishes successive spill generations
+	segChunks  int // Store calls issued against the current segment
+	deferred   []string
 }
 
 // NewSingleBuffer returns a single-buffer manager for cfg.
@@ -152,6 +161,7 @@ func (m *SingleBuffer) OnTuple(t tuple.Tuple) ([]Complete, error) {
 			return nil, err
 		}
 		m.spilledCnt++
+		m.segChunks++
 	} else {
 		m.buf = append(m.buf, t)
 		m.bufBytes += sz
@@ -200,10 +210,13 @@ func (m *SingleBuffer) fire(wm int64) ([]Complete, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := m.cfg.Store.Delete(m.spillKey()); err != nil {
+		if m.cfg.DeferDeletes {
+			m.deferred = append(m.deferred, m.spillKey())
+		} else if err := m.cfg.Store.Delete(m.spillKey()); err != nil {
 			return nil, err
 		}
 		m.segSeq++
+		m.segChunks = 0
 		m.buf = append(m.buf, ts...)
 		for _, t := range ts {
 			m.bufBytes += t.MemSize()
@@ -272,6 +285,7 @@ func (m *SingleBuffer) fire(wm int64) ([]Complete, error) {
 				return nil, err
 			}
 			m.spilledCnt += int64(len(m.buf) - cut)
+			m.segChunks++
 			for i := cut; i < len(m.buf); i++ {
 				m.buf[i] = tuple.Tuple{}
 			}

@@ -1,0 +1,222 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spear/internal/tuple"
+)
+
+// Checkpoint support for the window managers. Both designs implement
+// the checkpoint Snapshotter contract: SnapshotState serializes every
+// field that influences future output, RestoreState rebuilds it, and —
+// because SingleBuffer also keeps state in secondary storage S —
+// RewindStore reconciles the spill segments a crashed run may have
+// appended after the snapshot was taken.
+
+// Versioned type tags so a blob restored into the wrong manager fails
+// loudly instead of silently misdecoding.
+const (
+	snapSingleBuffer byte = 0x51 // 'Q'-ish: single buffer, version 1
+	snapMultiBuffer  byte = 0x4d // 'M': multi buffer, version 1
+)
+
+// SnapshotState serializes the manager: sequence/fire cursors, the
+// in-memory buffer, and the spill-segment cursor (segSeq + chunk count)
+// that RewindStore uses to put S back exactly as it was.
+func (m *SingleBuffer) SnapshotState() ([]byte, error) {
+	dst := []byte{snapSingleBuffer}
+	dst = tuple.AppendI64(dst, m.seq)
+	dst = tuple.AppendI64(dst, m.maxPos)
+	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendI64(dst, int64(m.nextFire))
+	dst = tuple.AppendI64(dst, m.late)
+	dst = tuple.AppendI64(dst, m.spilledCnt)
+	dst = tuple.AppendUvar(dst, uint64(m.segSeq))
+	dst = tuple.AppendUvar(dst, uint64(m.segChunks))
+	dst = tuple.AppendUvar(dst, uint64(m.peak))
+	dst = tuple.AppendBlob(dst, tuple.EncodeBatch(m.buf))
+	return dst, nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (m *SingleBuffer) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapSingleBuffer {
+		if rd.Err() == nil {
+			return fmt.Errorf("%w: single-buffer snapshot tag 0x%02x", tuple.ErrCorrupt, tag)
+		}
+		return rd.Err()
+	}
+	seq := rd.I64()
+	maxPos := rd.I64()
+	started := rd.Bool()
+	nextFire := ID(rd.I64())
+	late := rd.I64()
+	spilledCnt := rd.I64()
+	segSeq := rd.Uvar()
+	segChunks := rd.Uvar()
+	peak := rd.Uvar()
+	bufBlob := rd.Blob()
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if seq < 0 || late < 0 || spilledCnt < 0 {
+		return fmt.Errorf("%w: negative single-buffer counter", tuple.ErrCorrupt)
+	}
+	buf, err := tuple.DecodeBatch(bufBlob)
+	if err != nil {
+		return err
+	}
+	bytes := 0
+	for _, t := range buf {
+		bytes += t.MemSize()
+	}
+	m.seq, m.maxPos, m.started, m.nextFire = seq, maxPos, started, nextFire
+	m.late, m.spilledCnt = late, spilledCnt
+	m.segSeq, m.segChunks = int(segSeq), int(segChunks)
+	m.buf, m.bufBytes, m.peak = buf, bytes, int(peak)
+	m.deferred = nil
+	return nil
+}
+
+// TakeDeferredDeletes returns and clears the segment keys whose
+// deletion was deferred by Config.DeferDeletes. The checkpoint
+// coordinator executes them after the next checkpoint commits.
+func (m *SingleBuffer) TakeDeferredDeletes() []string {
+	d := m.deferred
+	m.deferred = nil
+	return d
+}
+
+// RewindStore reconciles secondary storage with the restored state: a
+// crashed run may have appended chunks to the current segment, started
+// later segments, or (with deferred deletes off) raced a deletion. The
+// restored state needs exactly segChunks chunks of segment segSeq and
+// nothing else under this manager's key prefix.
+func (m *SingleBuffer) RewindStore() error {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	prefix := m.cfg.Key + "#"
+	keys, err := m.cfg.Store.List(prefix)
+	if err != nil {
+		return err
+	}
+	cur := m.spillKey()
+	for _, k := range keys {
+		if k == cur && m.segChunks > 0 {
+			if err := m.cfg.Store.Truncate(k, m.segChunks); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.cfg.Store.Delete(k); err != nil {
+			return err
+		}
+	}
+	if m.segChunks > 0 {
+		// The snapshot says chunks exist; verify the segment survived.
+		if !containsKey(keys, cur) {
+			return fmt.Errorf("window: rewind: spill segment %q missing from store", cur)
+		}
+	}
+	return nil
+}
+
+func containsKey(keys []string, k string) bool {
+	for _, have := range keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns the manager's segment namespace; the checkpoint layer
+// uses it to sanity-check operator wiring.
+func (m *SingleBuffer) Key() string { return m.cfg.Key }
+
+// HasPrefix reports whether key lives under this manager's namespace.
+func (m *SingleBuffer) HasPrefix(key string) bool {
+	return strings.HasPrefix(key, m.cfg.Key+"#")
+}
+
+// SnapshotState serializes the multi-buffer manager: cursors plus one
+// tuple batch per open window, in window-ID order for deterministic
+// bytes.
+func (m *MultiBuffer) SnapshotState() ([]byte, error) {
+	dst := []byte{snapMultiBuffer}
+	dst = tuple.AppendI64(dst, m.seq)
+	dst = tuple.AppendI64(dst, m.maxPos)
+	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendI64(dst, int64(m.nextFire))
+	dst = tuple.AppendI64(dst, m.late)
+	dst = tuple.AppendUvar(dst, uint64(m.peak))
+	ids := make([]ID, 0, len(m.bufs))
+	for id := range m.bufs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dst = tuple.AppendUvar(dst, uint64(len(ids)))
+	for _, id := range ids {
+		dst = tuple.AppendI64(dst, int64(id))
+		dst = tuple.AppendBlob(dst, tuple.EncodeBatch(m.bufs[id]))
+	}
+	return dst, nil
+}
+
+// RestoreState implements the checkpoint Snapshotter contract.
+func (m *MultiBuffer) RestoreState(b []byte) error {
+	rd := tuple.NewWireReader(b)
+	if tag := rd.Byte(); tag != snapMultiBuffer {
+		if rd.Err() == nil {
+			return fmt.Errorf("%w: multi-buffer snapshot tag 0x%02x", tuple.ErrCorrupt, tag)
+		}
+		return rd.Err()
+	}
+	seq := rd.I64()
+	maxPos := rd.I64()
+	started := rd.Bool()
+	nextFire := ID(rd.I64())
+	late := rd.I64()
+	peak := rd.Uvar()
+	n := rd.Count(9) // id + at least an empty blob per window
+	if rd.Err() != nil {
+		return rd.Err()
+	}
+	bufs := make(map[ID][]tuple.Tuple, n)
+	bytes := make(map[ID]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		id := ID(rd.I64())
+		blob := rd.Blob()
+		if rd.Err() != nil {
+			return rd.Err()
+		}
+		ts, err := tuple.DecodeBatch(blob)
+		if err != nil {
+			return err
+		}
+		if _, dup := bufs[id]; dup {
+			return fmt.Errorf("%w: duplicate window id %d", tuple.ErrCorrupt, id)
+		}
+		sz := 0
+		for _, t := range ts {
+			sz += t.MemSize()
+		}
+		bufs[id] = ts
+		bytes[id] = sz
+		total += sz
+	}
+	if err := rd.Done(); err != nil {
+		return err
+	}
+	if seq < 0 || late < 0 {
+		return fmt.Errorf("%w: negative multi-buffer counter", tuple.ErrCorrupt)
+	}
+	m.seq, m.maxPos, m.started, m.nextFire, m.late = seq, maxPos, started, nextFire, late
+	m.bufs, m.bytes, m.bufBytes, m.peak = bufs, bytes, total, int(peak)
+	return nil
+}

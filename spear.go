@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"spear/internal/agg"
+	"spear/internal/checkpoint"
 	"spear/internal/core"
 	"spear/internal/dataset"
 	"spear/internal/metrics"
@@ -171,6 +172,11 @@ type Query struct {
 	queueSize   int
 	wmPeriod    time.Duration
 	wmLag       time.Duration
+
+	ckptTuples   int64
+	ckptInterval time.Duration
+	ckptRecover  bool
+	ckptMetrics  *metrics.CheckpointMetrics
 
 	store              storage.SpillStore
 	budgetPolicy       core.BudgetPolicy
@@ -456,6 +462,45 @@ func (q *Query) EstimateGroupedWith(est core.GroupedEstimator) *Query {
 	return q
 }
 
+// CheckpointMetrics bundles fault-tolerance telemetry: snapshot
+// duration and size, barrier-alignment stall, and recovery time.
+type CheckpointMetrics = metrics.CheckpointMetrics
+
+// CheckpointEvery enables aligned barrier snapshots: the query's state
+// is checkpointed into its spill store (under "<name>/ckpt") every
+// tuples source tuples when tuples > 0 and/or every interval of
+// wall-clock time when interval > 0. Pair with a durable SpillStore and
+// Recover to survive crashes; a failed run leaves its last completed
+// checkpoint intact.
+func (q *Query) CheckpointEvery(tuples int64, interval time.Duration) *Query {
+	if tuples < 0 || interval < 0 {
+		return q.errf("negative checkpoint period")
+	}
+	if tuples == 0 && interval == 0 {
+		return q.errf("checkpoint needs a tuple count or an interval")
+	}
+	q.ckptTuples = tuples
+	q.ckptInterval = interval
+	return q
+}
+
+// Recover resumes the query from the newest complete checkpoint found
+// in its spill store: operator state is restored, secondary storage is
+// rewound to the snapshot point, and the source is replayed from the
+// recorded offset (it must support seeking — FromSlice does). With no
+// usable checkpoint the run starts clean, discarding any partial state
+// a crashed run left behind.
+func (q *Query) Recover() *Query {
+	q.ckptRecover = true
+	return q
+}
+
+// CheckpointMetricsInto directs checkpoint telemetry into cm.
+func (q *Query) CheckpointMetricsInto(cm *CheckpointMetrics) *Query {
+	q.ckptMetrics = cm
+	return q
+}
+
 // MetricsInto directs telemetry into reg (one Worker per stateful
 // worker thread); without it a private registry is used and returned
 // via the run Summary only.
@@ -504,6 +549,8 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 		reg = metrics.NewRegistry()
 	}
 
+	ckptEnabled := q.ckptTuples > 0 || q.ckptInterval > 0 || q.ckptRecover
+
 	factory := func(wi int) (core.Manager, error) {
 		cfg := core.Config{
 			Spec:               q.spec,
@@ -523,6 +570,7 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 			GroupedEstimator:   q.groupedEst,
 			Metrics:            reg.Worker(fmt.Sprintf("%s[%d]", q.name, wi)),
 			Budget:             q.budgetPolicy,
+			DeferStoreDeletes:  ckptEnabled,
 		}
 		switch q.backend {
 		case BackendExact:
@@ -544,10 +592,42 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	if q.spec.Domain == window.CountDomain {
 		wmPeriod = 0 // count windows close on arrival
 	}
+	var hooks *spe.CheckpointHooks
+	if ckptEnabled {
+		coord, err := checkpoint.NewCoordinator(checkpoint.Config{
+			Store:       store,
+			Namespace:   q.name + "/ckpt",
+			Workers:     q.parallelism,
+			EveryTuples: q.ckptTuples,
+			Interval:    q.ckptInterval,
+			Metrics:     q.ckptMetrics,
+		})
+		if err != nil {
+			return Summary{}, fmt.Errorf("spear: %s: %w", q.name, err)
+		}
+		if q.ckptRecover {
+			if _, err := coord.Recover(); err != nil {
+				return Summary{}, fmt.Errorf("spear: %s: %w", q.name, err)
+			}
+		}
+		hooks = coord.Hooks()
+	}
+
+	fieldsSeed := int64(0)
+	if ckptEnabled {
+		// Group→worker routing must survive restarts; derive a
+		// deterministic partitioner seed from the query seed.
+		fieldsSeed = sample.DeriveSeed(q.seed, -1)
+		if fieldsSeed == 0 {
+			fieldsSeed = 1
+		}
+	}
 	tp := spe.NewTopology(spe.Config{
 		QueueSize:       q.queueSize,
 		WatermarkPeriod: wmPeriod,
 		WatermarkLag:    int64(q.wmLag),
+		Checkpoint:      hooks,
+		FieldsSeed:      fieldsSeed,
 	}).SetSpout(q.source)
 	for _, fn := range q.maps {
 		tp.AddMap(q.name+"/map", q.parallelism, fn)
