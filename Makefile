@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race recovery fuzz bench-checkpoint
+.PHONY: check build vet lint test race recovery fuzz bench-checkpoint bench-pipeline
 
 check: build vet lint race recovery
 
@@ -17,7 +17,8 @@ vet:
 
 # spearlint is this repo's own analyzer suite (cmd/spearlint): global
 # rand usage, goroutine discipline, wall-clock use in event-time code,
-# float equality, and dropped codec/spill errors. Exit status 1 means
+# float equality, dropped codec/spill errors, and per-tuple time.Now /
+# map allocation in the engine's worker hot loops. Exit status 1 means
 # findings; see DESIGN.md §9 for the catalogue and suppression syntax.
 lint:
 	$(GO) run ./cmd/spearlint ./...
@@ -48,3 +49,11 @@ fuzz:
 # 1s vs 10s intervals (acceptance: <10% throughput cost at 10s).
 bench-checkpoint:
 	$(GO) run ./cmd/spear-bench -experiment checkpoint
+
+# Dataflow throughput: the spe micro-benchmarks with allocation counts,
+# then the pipeline experiment (par 1/4/8 × batch 1 vs 64, best of 3)
+# writing BENCH_pipeline.json (acceptance: batch=64 ≥2x batch=1 on the
+# 4-worker shuffle pipeline, allocs/tuple ≤1 in steady state).
+bench-pipeline:
+	$(GO) test -run '^$$' -bench BenchmarkPipeline -benchmem ./internal/spe/
+	$(GO) run ./cmd/spear-bench -experiment pipeline -benchjson BENCH_pipeline.json

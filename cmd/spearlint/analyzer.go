@@ -37,6 +37,7 @@ var analyzers = []*Analyzer{
 	analyzerEventTime,
 	analyzerFloatCmp,
 	analyzerErrcheckLite,
+	analyzerHotLoop,
 }
 
 // buildSuppressions scans comments for //lint:ignore directives. The

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotLoopScope limits the check to the engine package: its worker
+// goroutines execute once per tuple at full stream rate, so a stray
+// wall-clock read or map allocation there is a per-tuple cost that
+// micro-batching cannot amortize away.
+var hotLoopScope = []string{
+	"internal/spe",
+}
+
+// analyzerHotLoop flags per-tuple costs inside the engine's worker hot
+// loops: any mention of time.Now, and any map allocation (make(map...)
+// or a map composite literal), lexically inside a for/range loop of a
+// function reached from a `go func` literal launched by Topology.Run.
+//
+// Reachability is intraprocedural with one hop of package-local call
+// resolution: the seed set is every goroutine literal in Topology.Run
+// (nested closures included), expanded through calls to same-package
+// functions and methods resolved via the type info. Code called through
+// interfaces or from other packages is out of reach by design — the
+// analyzer is a tripwire for the obvious regression, not an escape
+// analysis. Loop setup (before the loop) is deliberately not flagged:
+// per-worker initialization may build maps and read clocks freely.
+var analyzerHotLoop = &Analyzer{
+	Name: "hotloop",
+	Doc:  "time.Now or map allocation inside internal/spe worker hot loops (per-tuple cost)",
+	Run:  runHotLoop,
+}
+
+func runHotLoop(p *Pkg) []Finding {
+	if !inScope(p, hotLoopScope...) {
+		return nil
+	}
+
+	// Index package-level function declarations by their object, and
+	// remember which file holds each (the time import alias is
+	// per-file). Also collect the Topology.Run roots.
+	type fnDecl struct {
+		decl *ast.FuncDecl
+		file *ast.File
+	}
+	decls := map[types.Object]fnDecl{}
+	var roots []fnDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.Info != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fnDecl{fd, f}
+				}
+			}
+			if fd.Name.Name == "Run" && recvTypeName(fd) == "Topology" {
+				roots = append(roots, fnDecl{fd, f})
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Seed: every `go func(...)` literal inside Topology.Run. Nested
+	// closures ride along because the violation scan walks whole
+	// bodies.
+	type workItem struct {
+		body *ast.BlockStmt
+		file *ast.File
+	}
+	var work []workItem
+	seen := map[*ast.BlockStmt]bool{}
+	push := func(body *ast.BlockStmt, file *ast.File) {
+		if body != nil && !seen[body] {
+			seen[body] = true
+			work = append(work, workItem{body, file})
+		}
+	}
+	for _, r := range roots {
+		ast.Inspect(r.decl.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					push(fl.Body, r.file)
+				}
+			}
+			return true
+		})
+	}
+
+	// Expand through package-local calls, then scan each reachable
+	// body's loops.
+	var out []Finding
+	for i := 0; i < len(work); i++ {
+		item := work[i]
+
+		// One hop of call resolution per body: idents and selectors
+		// that resolve to a package-level function pull its body in.
+		if p.Info != nil {
+			ast.Inspect(item.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var id *ast.Ident
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					id = fun
+				case *ast.SelectorExpr:
+					id = fun.Sel
+				default:
+					return true
+				}
+				if obj := p.Info.Uses[id]; obj != nil {
+					if d, ok := decls[obj]; ok {
+						push(d.decl.Body, d.file)
+					}
+				}
+				return true
+			})
+		}
+
+		out = append(out, scanHotBody(p, item.body, importAlias(item.file, "time"))...)
+	}
+	return out
+}
+
+// recvTypeName returns the receiver's base type name ("" for plain
+// functions).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// scanHotBody reports violations inside every for/range loop of body
+// (loops inside nested closures included — the closure bodies are part
+// of the reachable code). Each loop scan stops at nested function
+// literals (code in them does not run per iteration of this loop) and
+// at nested loops (each loop gets its own scan, so a violation is
+// reported exactly once, at its innermost loop).
+func scanHotBody(p *Pkg, body *ast.BlockStmt, timeAlias string) []Finding {
+	var out []Finding
+	var loops []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, n.Body)
+		case *ast.RangeStmt:
+			loops = append(loops, n.Body)
+		}
+		return true
+	})
+	flagLoop := func(loop *ast.BlockStmt) {
+		ast.Inspect(loop, func(n ast.Node) bool {
+			if n == loop {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt:
+				return false // scanned as its own loop
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok && timeAlias != "" &&
+					id.Name == timeAlias && n.Sel.Name == "Now" {
+					out = append(out, Finding{
+						Pos:   p.Fset.Position(n.Pos()),
+						Check: "hotloop",
+						Msg:   "time.Now inside a worker hot loop; a per-tuple wall-clock read costs a syscall-class stall per message — hoist it out of the loop or inject a clock",
+					})
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if _, isMap := n.Args[0].(*ast.MapType); isMap {
+						out = append(out, Finding{
+							Pos:   p.Fset.Position(n.Pos()),
+							Check: "hotloop",
+							Msg:   "map allocation (make) inside a worker hot loop; allocate once per worker and reuse — a per-tuple map is per-tuple garbage",
+						})
+					}
+				}
+			case *ast.CompositeLit:
+				if _, isMap := n.Type.(*ast.MapType); isMap {
+					out = append(out, Finding{
+						Pos:   p.Fset.Position(n.Pos()),
+						Check: "hotloop",
+						Msg:   "map literal inside a worker hot loop; allocate once per worker and reuse — a per-tuple map is per-tuple garbage",
+					})
+				}
+			}
+			return true
+		})
+	}
+	for _, loop := range loops {
+		flagLoop(loop)
+	}
+	return out
+}

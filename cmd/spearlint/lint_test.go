@@ -129,6 +129,17 @@ func TestErrcheckLite(t *testing.T) {
 	checkFixture(t, analyzerErrcheckLite, "errchecklite", "internal/fixture")
 }
 
+func TestHotLoop(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "hotloop", "internal/spe")
+}
+
+func TestHotLoopOutOfScope(t *testing.T) {
+	pkg := loadFixture(t, filepath.Join("testdata", "src", "hotloop"), "internal/core")
+	if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
+		t.Errorf("out-of-scope package should be clean, got %d findings", len(fs))
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	checkFixture(t, analyzerGlobalRand, "suppress", "internal/fixture")
 }
@@ -170,8 +181,8 @@ func TestCatalogNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(analyzers) != 5 {
-		t.Errorf("catalogue has %d analyzers, want 5", len(analyzers))
+	if len(analyzers) != 6 {
+		t.Errorf("catalogue has %d analyzers, want 6", len(analyzers))
 	}
 }
 

@@ -1,4 +1,4 @@
-// Command spearlint is SPEAr's in-repo static analyzer: five
+// Command spearlint is SPEAr's in-repo static analyzer: six
 // project-specific correctness checks enforced as part of `make check`,
 // built on the standard library only (go/ast + go/types, no go/packages
 // and no external dependencies).
@@ -19,6 +19,7 @@
 //	eventtime             time.Now inside event-time packages
 //	floatcmp              ==/!= between computed floats in numeric kernels
 //	errcheck-lite         dropped errors from tuple codec / spill store
+//	hotloop               time.Now / map allocation in engine worker hot loops
 package main
 
 import (

@@ -46,12 +46,14 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 	"fig11":      Fig11,
 	"fig12":      Fig12,
 	"checkpoint": Checkpoint,
+	"pipeline":   Pipeline,
 }
 
 // ExperimentIDs returns all experiment ids in presentation order.
 func ExperimentIDs() []string {
 	return []string{"table1", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
-		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint"}
+		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint",
+		"pipeline"}
 }
 
 // ---- dataset-specific query builders ----

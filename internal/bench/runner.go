@@ -24,6 +24,10 @@ type Options struct {
 	Seed int64
 	// Out receives the printed tables.
 	Out io.Writer
+	// BenchJSON, when non-empty, is a path where experiments that
+	// support machine-readable output (currently "pipeline") also write
+	// their rows as JSON.
+	BenchJSON string
 }
 
 func (o Options) tuples(paperTotal int) int {

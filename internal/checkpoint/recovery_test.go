@@ -57,10 +57,13 @@ type resKey struct {
 
 type runOutput map[resKey]core.Result
 
-// topo describes one deterministic test topology.
+// topo describes one deterministic test topology. batch is the
+// engine's micro-batch size (0 → engine default of 64; 1 → per-tuple
+// transfer).
 type topo struct {
 	par     int
 	grouped bool
+	batch   int
 }
 
 func (tc topo) factory(store storage.SpillStore) spe.ManagerFactory {
@@ -94,14 +97,25 @@ func (tc topo) run(ts []tuple.Tuple, store storage.SpillStore, hooks *spe.Checkp
 	if tc.grouped {
 		keyBy = tuple.FieldString(1)
 	}
+	// A small queue keeps the spout close to the workers; checkpoints
+	// rely on this backpressure to commit while the (finite) test
+	// stream is still flowing. Queues are counted in batches, so the
+	// bound scales inversely with the batch size to keep the number of
+	// in-flight tuples (queue × batch ≈ 128) well under ckptEvery.
+	batch := tc.batch
+	if batch == 0 {
+		batch = 64 // the engine default
+	}
+	queue := 128 / batch
+	if queue < 2 {
+		queue = 2
+	}
 	tp := spe.NewTopology(spe.Config{
 		WatermarkPeriod: winTicks,
 		Checkpoint:      hooks,
 		FieldsSeed:      99,
-		// A small queue keeps the spout within one window of the
-		// workers; checkpoints rely on this backpressure to commit
-		// while the (finite) test stream is still flowing.
-		QueueSize: 64,
+		BatchSize:       tc.batch,
+		QueueSize:       queue,
 	}).SetSpout(spe.NewSliceSpout(ts))
 	tp.SetWindowed("win", tc.par, keyBy, tc.factory(store))
 	tp.SetSink(func(w int, r core.Result) { got[resKey{w, r.WindowID}] = r })
@@ -241,6 +255,71 @@ func TestCrashRecoveryGrouped(t *testing.T) {
 		t.Run(p.String(), func(t *testing.T) {
 			crashAndRecover(t, topo{par: 2, grouped: true}, p)
 		})
+	}
+}
+
+// TestCrashRecoveryBatchedIdentity is the acceptance check for the
+// batched dataflow: with micro-batching enabled (several batch sizes,
+// including one larger than the whole stream), a crash mid-protocol
+// followed by recovery must reproduce the SAME results — values AND
+// accelerate/exact Mode decisions — as an uninterrupted run executed
+// with per-tuple transfer (BatchSize 1). Batching is a transport
+// optimization; it must be invisible to the paper's semantics.
+func TestCrashRecoveryBatchedIdentity(t *testing.T) {
+	ts := testStream(streamN)
+
+	// Reference: uninterrupted, strictly per-tuple transfer.
+	ref, err := topo{par: 2, batch: 1}.run(ts, storage.NewMemStore(), nil)
+	if err != nil {
+		t.Fatalf("per-tuple reference run: %v", err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference run produced no results")
+	}
+
+	for _, batch := range []int{2, 64, streamN + 500} {
+		for _, point := range []checkpointtest.CrashPoint{
+			checkpointtest.MidAlignment, checkpointtest.PostSnapshot,
+		} {
+			batch, point := batch, point
+			t.Run(fmt.Sprintf("batch%d/%s", batch, point), func(t *testing.T) {
+				tc := topo{par: 2, batch: batch}
+
+				store := storage.NewMemStore()
+				inj := &checkpointtest.Injector{Point: point, AtCheckpoint: crashAtCkpt, AtWorker: 0}
+				coord := coordFor(t, store, tc.par, inj.AfterPersist())
+				partial, err := tc.run(ts, store, inj.Arm(coord.Hooks()))
+				if !errors.Is(err, checkpointtest.ErrInjectedCrash) {
+					t.Fatalf("crashed run: err = %v, want injected crash", err)
+				}
+
+				coord2 := coordFor(t, store, tc.par, nil)
+				found, err := coord2.Recover()
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				if !found {
+					t.Fatal("no checkpoint recovered")
+				}
+				resumed, err := tc.run(ts, store, coord2.Hooks())
+				if err != nil {
+					t.Fatalf("recovery run: %v", err)
+				}
+
+				merged := runOutput{}
+				for k, v := range partial {
+					merged[k] = v
+				}
+				for k, v := range resumed {
+					if prev, dup := merged[k]; dup && !sameResult(prev, v) {
+						t.Errorf("replayed window diverged: worker=%d window=%d\n crashed %v\n resumed %v",
+							k.worker, k.id, prev, v)
+					}
+					merged[k] = v
+				}
+				diffOutputs(t, ref, merged, "batched merged vs per-tuple ref")
+			})
+		}
 	}
 }
 

@@ -31,6 +31,23 @@ type archive struct {
 	minPane int64                   // smallest pane that may still exist
 	haveMin bool
 
+	// cur caches the buffer of the pane tuples are currently arriving
+	// into, keeping the per-tuple hot path free of map operations:
+	// tuples land in consecutive panes, so add is a compare + append
+	// until the pane rolls over. Invariant: while curOK, pending has no
+	// entry for curP — stash() reinstates it before any path that walks
+	// the map.
+	cur   []tuple.Tuple
+	curP  int64
+	curOK bool
+
+	// spare recycles the backing array of the last flushed chunk so the
+	// steady state allocates no chunk buffers at all: without it every
+	// chunk re-grows from nil through the append doubling chain,
+	// copying ~2× the chunk per flush. Safe because SpillStore.Store
+	// encodes and must not retain the slice.
+	spare []tuple.Tuple
+
 	// Checkpoint bookkeeping. flushed counts the chunks stored per live
 	// pane so recovery can Truncate away chunks a crashed run appended
 	// after the snapshot. deferDel switches evictBefore from deleting
@@ -67,21 +84,64 @@ func (a *archive) paneKey(p int64) string {
 	return fmt.Sprintf("%s/p%d", a.key, p)
 }
 
-// add buffers one tuple and flushes its pane's chunk when full.
+// add buffers one tuple and flushes its pane's chunk when full. This is
+// the per-tuple hot path of every manager ("τ is stored in S" runs for
+// each arrival): the common case is a pane-index compare plus an append
+// into the cached cur buffer — no map operations — and full chunks hand
+// their backing array to spare instead of the GC.
 func (a *archive) add(t tuple.Tuple) error {
 	p := a.paneOf(t.Ts)
-	if !a.haveMin || p < a.minPane {
-		a.minPane = p
-		a.haveMin = true
+	if !a.curOK || p != a.curP {
+		a.rollTo(p)
 	}
-	a.pending[p] = append(a.pending[p], t)
-	if len(a.pending[p]) >= a.chunk {
-		return a.flushPane(p)
+	a.cur = append(a.cur, t)
+	if len(a.cur) >= a.chunk {
+		if err := a.store.Store(a.paneKey(p), a.cur); err != nil {
+			return fmt.Errorf("core: archive pane %d: %w", p, err)
+		}
+		a.flushed[p]++
+		a.cur = a.cur[:0] // backing array recycled in place
 	}
 	return nil
 }
 
+// rollTo retires the cached pane buffer into pending and loads (or
+// starts) pane p's buffer into the cache.
+func (a *archive) rollTo(p int64) {
+	a.stash()
+	if !a.haveMin || p < a.minPane {
+		a.minPane = p
+		a.haveMin = true
+	}
+	if buf, ok := a.pending[p]; ok {
+		a.cur = buf
+		delete(a.pending, p)
+	} else if cap(a.spare) > 0 {
+		a.cur, a.spare = a.spare[:0], nil
+	} else {
+		a.cur = nil
+	}
+	a.curP, a.curOK = p, true
+}
+
+// stash reinstates the cached pane buffer into the pending map. Every
+// path that reads or mutates pending as a whole calls it first.
+func (a *archive) stash() {
+	if !a.curOK {
+		return
+	}
+	if len(a.cur) > 0 {
+		a.pending[a.curP] = a.cur
+	} else if cap(a.cur) > cap(a.spare) {
+		a.spare = a.cur[:0]
+	}
+	a.cur, a.curOK = nil, false
+}
+
 func (a *archive) flushPane(p int64) error {
+	if a.curOK && p == a.curP {
+		a.stash()
+	}
 	ts := a.pending[p]
 	if len(ts) == 0 {
 		return nil
@@ -91,12 +151,16 @@ func (a *archive) flushPane(p int64) error {
 	}
 	a.flushed[p]++
 	delete(a.pending, p)
+	if cap(ts) > cap(a.spare) {
+		a.spare = ts[:0]
+	}
 	return nil
 }
 
 // flushAll stores every pending chunk; the checkpoint snapshot calls it
 // so the snapshotted flushed-chunk counts cover all archived tuples.
 func (a *archive) flushAll() error {
+	a.stash()
 	for p := range a.pending {
 		if err := a.flushPane(p); err != nil {
 			return err
@@ -136,6 +200,7 @@ func (a *archive) evictBefore(pos int64) error {
 	if !a.haveMin {
 		return nil
 	}
+	a.stash()
 	limit := a.paneOf(pos) // panes < limit end at or before pos
 	for p := a.minPane; p < limit; p++ {
 		delete(a.pending, p)
@@ -161,6 +226,9 @@ func (a *archive) memUsage() int {
 		for _, t := range ts {
 			n += t.MemSize()
 		}
+	}
+	for _, t := range a.cur {
+		n += t.MemSize()
 	}
 	return n
 }
@@ -207,6 +275,7 @@ func (a *archive) readState(rd *tuple.WireReader) {
 	a.pending = make(map[int64][]tuple.Tuple)
 	a.flushed = make(map[int64]int, n)
 	a.deferred = nil
+	a.cur, a.curOK = nil, false
 	for i := 0; i < n; i++ {
 		p := rd.I64()
 		c := rd.Uvar()

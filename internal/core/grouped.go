@@ -115,6 +115,42 @@ func (m *GroupedManager) perGroupCap() int {
 // group metadata, then buffer it (unknown groups) or archive it to S
 // (known groups).
 func (m *GroupedManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	rs, err := m.ingest(t)
+	if err != nil {
+		return rs, err
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Inc()
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return rs, nil
+}
+
+// OnTupleBatch implements BatchManager: identical per-tuple state
+// transitions with the telemetry updates amortized once per batch.
+func (m *GroupedManager) OnTupleBatch(ts []tuple.Tuple) ([]Result, error) {
+	var out []Result
+	done := 0
+	for i := range ts {
+		rs, err := m.ingest(ts[i])
+		if len(rs) > 0 {
+			out = append(out, rs...)
+		}
+		if err != nil {
+			return out, err
+		}
+		done++
+	}
+	if done > 0 && m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Add(int64(done))
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return out, nil
+}
+
+// ingest is the metrics-free per-tuple body shared by OnTuple and
+// OnTupleBatch.
+func (m *GroupedManager) ingest(t tuple.Tuple) ([]Result, error) {
 	pos := t.Ts
 	if m.cfg.Spec.Domain == window.CountDomain {
 		pos = m.seq
@@ -159,11 +195,6 @@ func (m *GroupedManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 		if m.cfg.Metrics != nil {
 			m.cfg.Metrics.LateDropped.Inc()
 		}
-	}
-
-	if m.cfg.Metrics != nil {
-		m.cfg.Metrics.TuplesIn.Inc()
-		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
 	}
 
 	if m.arc != nil {

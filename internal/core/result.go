@@ -82,3 +82,37 @@ type Manager interface {
 	// production (the Fig. 7 metric).
 	MemUsage() int
 }
+
+// BatchManager is the optional micro-batch fast path on Manager. The
+// engine's windowed workers assert for it once per run and deliver
+// contiguous runs of data tuples through OnTupleBatch, amortizing
+// per-tuple overheads (metrics updates, bounds checks) across the run.
+//
+// The contract is strict equivalence: OnTupleBatch(ts) must leave the
+// manager in the same state, and return the same results in the same
+// order, as calling OnTuple for each tuple of ts in order. Managers
+// that do not implement it keep working through the IngestBatch shim.
+type BatchManager interface {
+	OnTupleBatch(ts []tuple.Tuple) ([]Result, error)
+}
+
+// IngestBatch feeds ts through m: via the OnTupleBatch fast path when
+// the manager implements BatchManager, falling back to per-tuple
+// OnTuple calls otherwise. Results are concatenated in ingestion order.
+// On error, tuples before the failing one have been ingested.
+func IngestBatch(m Manager, ts []tuple.Tuple) ([]Result, error) {
+	if bm, ok := m.(BatchManager); ok {
+		return bm.OnTupleBatch(ts)
+	}
+	var out []Result
+	for _, t := range ts {
+		rs, err := m.OnTuple(t)
+		if len(rs) > 0 {
+			out = append(out, rs...)
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -22,7 +22,13 @@ type ScalarManager struct {
 	est ScalarEstimator
 	arc *archive
 
-	wins      map[window.ID]*scalarWin
+	wins map[window.ID]*scalarWin
+	// lastID/lastWin memoize the most recent wins lookup: consecutive
+	// tuples overwhelmingly hit the same window(s), so the per-tuple
+	// map access in ingest collapses to a comparison. Invalidated
+	// whenever wins entries are deleted or the map is replaced.
+	lastID    window.ID
+	lastWin   *scalarWin
 	started   bool
 	nextFire  window.ID
 	seq       int64
@@ -87,6 +93,46 @@ func (m *ScalarManager) evalExact(values []float64) float64 {
 // OnTuple implements Manager (Alg. 1): update the budget's sample and
 // statistics, archive the tuple to S.
 func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	rs, ingested, err := m.ingest(t)
+	if err != nil {
+		return rs, err
+	}
+	if ingested && m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Inc()
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return rs, nil
+}
+
+// OnTupleBatch implements BatchManager: the per-tuple work of Alg. 1
+// with the telemetry updates (counter increment, memory gauge refresh)
+// amortized once per batch instead of once per tuple.
+func (m *ScalarManager) OnTupleBatch(ts []tuple.Tuple) ([]Result, error) {
+	var out []Result
+	ingested := 0
+	for i := range ts {
+		rs, ok, err := m.ingest(ts[i])
+		if len(rs) > 0 {
+			out = append(out, rs...)
+		}
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			ingested++
+		}
+	}
+	if ingested > 0 && m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Add(int64(ingested))
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return out, nil
+}
+
+// ingest is the metrics-free per-tuple body shared by OnTuple and
+// OnTupleBatch. ingested is false for late-dropped tuples (which count
+// toward LateDropped, not TuplesIn).
+func (m *ScalarManager) ingest(t tuple.Tuple) (rs []Result, ingested bool, err error) {
 	pos := t.Ts
 	if m.cfg.Spec.Domain == window.CountDomain {
 		pos = m.seq
@@ -107,7 +153,7 @@ func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 		if m.cfg.Metrics != nil {
 			m.cfg.Metrics.LateDropped.Inc()
 		}
-		return nil, nil
+		return nil, false, nil
 	}
 	if lo < m.nextFire {
 		lo = m.nextFire
@@ -115,16 +161,21 @@ func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 
 	v := m.cfg.Value(t)
 	for id := lo; id <= hi; id++ {
-		w, ok := m.wins[id]
-		if !ok {
-			w = &scalarWin{
-				res:   sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL),
-				first: pos,
+		w := m.lastWin
+		if w == nil || id != m.lastID {
+			var ok bool
+			w, ok = m.wins[id]
+			if !ok {
+				w = &scalarWin{
+					res:   sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL),
+					first: pos,
+				}
+				if m.useIncremental() {
+					w.inc, _ = agg.NewIncremental(m.cfg.Agg)
+				}
+				m.wins[id] = w
 			}
-			if m.useIncremental() {
-				w.inc, _ = agg.NewIncremental(m.cfg.Agg)
-			}
-			m.wins[id] = w
+			m.lastID, m.lastWin = id, w
 		}
 		w.res.Add(v)
 		w.all.Add(v)
@@ -133,17 +184,14 @@ func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 		}
 	}
 	if err := m.arc.add(t); err != nil {
-		return nil, err
-	}
-	if m.cfg.Metrics != nil {
-		m.cfg.Metrics.TuplesIn.Inc()
-		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+		return nil, true, err
 	}
 
 	if m.cfg.Spec.Domain == window.CountDomain {
-		return m.fire(m.seq)
+		rs, err := m.fire(m.seq)
+		return rs, true, err
 	}
-	return nil, nil
+	return nil, true, nil
 }
 
 // OnWatermark implements Manager (Alg. 2).
@@ -183,6 +231,7 @@ func (m *ScalarManager) fire(wm int64) ([]Result, error) {
 		}
 		delete(m.wins, id)
 	}
+	m.lastWin = nil // fired windows may include the memoized one
 	m.nextFire = last + 1
 	start, _ := m.cfg.Spec.Bounds(m.nextFire)
 	if err := m.arc.evictBefore(start); err != nil {

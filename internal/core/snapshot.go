@@ -127,6 +127,7 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 	m.curBudget = int(curBudget)
 	m.arc = arc
 	m.wins = wins
+	m.lastWin = nil // the memoized window belongs to the replaced map
 	return nil
 }
 

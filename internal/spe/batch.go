@@ -1,0 +1,116 @@
+package spe
+
+import "sync"
+
+// defaultBatchSize is the micro-batch size selected when Config.
+// BatchSize is zero. 64 messages keeps a batch comfortably inside one
+// L1 line-burst (64 × ~64 B) while amortizing a channel synchronization
+// down to ~1/64 of its per-tuple cost.
+const defaultBatchSize = 64
+
+// batchPool recycles []Message scatter buffers between senders and
+// receivers so the steady-state hot path performs no per-batch heap
+// allocation beyond the sync.Pool bookkeeping. Buffers cross goroutine
+// boundaries: a sender fills one, the receiving worker drains it and
+// returns it here.
+type batchPool struct {
+	pool sync.Pool
+	size int
+}
+
+func newBatchPool(size int) *batchPool {
+	bp := &batchPool{size: size}
+	bp.pool.New = func() any { return make([]Message, 0, size) }
+	return bp
+}
+
+// get returns an empty buffer with capacity ≥ 1.
+func (bp *batchPool) get() []Message {
+	return bp.pool.Get().([]Message)
+}
+
+// put recycles a drained buffer. The caller must no longer reference b
+// or any Message inside it (Tuple values embedded in a Message are
+// copied on send and on ingest, so recycling the slice never aliases
+// live operator state).
+func (bp *batchPool) put(b []Message) {
+	if cap(b) == 0 {
+		return
+	}
+	bp.pool.Put(b[:0])
+}
+
+// batcher accumulates a sender's outgoing messages into per-destination
+// scatter buffers and ships them as []Message micro-batches. Data
+// tuples ride in batches of up to size; control tuples (watermarks and
+// checkpoint barriers) force a flush of every pending buffer and then
+// travel as singleton batches, so the per-channel order every receiver
+// observes is exactly the order a per-tuple sender would have produced:
+// all data routed before a control tuple is delivered before it.
+//
+// A batcher belongs to one sending goroutine and needs no locking.
+type batcher struct {
+	outs []chan []Message
+	bufs [][]Message
+	size int
+	pool *batchPool
+}
+
+func newBatcher(outs []chan []Message, size int, pool *batchPool) *batcher {
+	if size < 1 {
+		size = 1
+	}
+	return &batcher{
+		outs: outs,
+		bufs: make([][]Message, len(outs)),
+		size: size,
+		pool: pool,
+	}
+}
+
+// send queues msg for destination d, flushing d's buffer when it
+// reaches the batch size. The channel send blocks when the destination
+// queue is full — micro-batching preserves the engine's bounded-queue
+// back-pressure, only at batch granularity.
+func (b *batcher) send(d int, msg Message) {
+	buf := b.bufs[d]
+	if buf == nil {
+		buf = b.pool.get()
+	}
+	buf = append(buf, msg)
+	if len(buf) >= b.size {
+		b.outs[d] <- buf
+		buf = nil
+	}
+	b.bufs[d] = buf
+}
+
+// flush ships destination d's pending buffer, if any.
+func (b *batcher) flush(d int) {
+	if buf := b.bufs[d]; len(buf) > 0 {
+		b.outs[d] <- buf
+		b.bufs[d] = nil
+	}
+}
+
+// flushAll ships every pending buffer. Callers invoke it at stream end
+// (before closing the downstream channels) and before any control
+// broadcast.
+func (b *batcher) flushAll() {
+	for d := range b.outs {
+		b.flush(d)
+	}
+}
+
+// broadcast flushes all pending data and then delivers msg to every
+// destination as a singleton batch. Watermark min-merge and barrier
+// alignment both rely on this ordering: a control tuple may never
+// overtake data buffered before it, and a barrier must partition each
+// channel's stream exactly at its injection point.
+func (b *batcher) broadcast(msg Message) {
+	b.flushAll()
+	for _, c := range b.outs {
+		nb := b.pool.get()
+		c <- append(nb, msg)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spear/internal/core"
@@ -28,10 +29,18 @@ type ResultSink func(worker int, r core.Result)
 
 // Config configures an engine run.
 type Config struct {
-	// QueueSize bounds each worker's input channel; full queues block
-	// upstream senders (the engine's back-pressure mechanism). Zero
-	// selects 1024.
+	// QueueSize bounds each worker's input channel, counted in batches;
+	// full queues block upstream senders (the engine's back-pressure
+	// mechanism). Zero selects 1024.
 	QueueSize int
+	// BatchSize is the micro-batch size for inter-stage channel hops:
+	// senders accumulate up to BatchSize data messages per destination
+	// before a channel send, flushing early on watermarks, barriers,
+	// and stream end (control tuples always travel as singleton
+	// batches behind a full flush, preserving per-tuple ordering
+	// semantics exactly). 1 reproduces per-tuple transfer; zero
+	// selects the default of 64.
+	BatchSize int
 	// WatermarkPeriod is the event-time distance between watermarks
 	// emitted by the spout. Zero disables watermark generation (for
 	// count-based windows, which close on arrival).
@@ -123,6 +132,9 @@ func NewTopology(cfg Config) *Topology {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 1024
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = defaultBatchSize
+	}
 	cfg.FinalWatermark = true
 	return &Topology{cfg: cfg}
 }
@@ -180,10 +192,15 @@ func (tp *Topology) validate() error {
 	return nil
 }
 
-// errOnce records the first error raised by any worker.
+// errOnce records the first error raised by any worker. The hot path —
+// every spout, stage, and windowed loop polls get() per message — is a
+// single atomic load while no error has occurred; the mutex guards only
+// the first-error slot and is touched solely by set() and by get()
+// after a failure (when performance no longer matters).
 type errOnce struct {
-	mu  sync.Mutex
-	err error
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
 }
 
 func (e *errOnce) set(err error) {
@@ -193,11 +210,17 @@ func (e *errOnce) set(err error) {
 	e.mu.Lock()
 	if e.err == nil {
 		e.err = err
+		// Publish after the slot is written: a get() that observes the
+		// flag always finds the error under the lock.
+		e.failed.Store(true)
 	}
 	e.mu.Unlock()
 }
 
 func (e *errOnce) get() error {
+	if !e.failed.Load() {
+		return nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.err
@@ -218,20 +241,24 @@ func (tp *Topology) Run() error {
 	}
 	var failed errOnce
 
-	// Wire channels: one per worker per stage.
-	mkChans := func(n int) []chan Message {
-		cs := make([]chan Message, n)
+	// Wire channels: one per worker per stage. Channels carry micro-
+	// batches ([]Message) rather than single messages; the shared pool
+	// recycles batch buffers between senders and receivers so the
+	// steady state is allocation-free.
+	pool := newBatchPool(tp.cfg.BatchSize)
+	mkChans := func(n int) []chan []Message {
+		cs := make([]chan []Message, n)
 		for i := range cs {
-			cs[i] = make(chan Message, tp.cfg.QueueSize)
+			cs[i] = make(chan []Message, tp.cfg.QueueSize)
 		}
 		return cs
 	}
-	stageIn := make([][]chan Message, len(tp.stages))
+	stageIn := make([][]chan []Message, len(tp.stages))
 	for i, s := range tp.stages {
 		stageIn[i] = mkChans(s.par)
 	}
 	winIn := mkChans(tp.windowed.par)
-	results := make(chan sinkItem, tp.cfg.QueueSize)
+	results := make(chan []sinkItem, tp.cfg.QueueSize)
 
 	firstIn := winIn
 	if len(tp.stages) > 0 {
@@ -288,7 +315,8 @@ func (tp *Topology) Run() error {
 	stageWGs := make([]*sync.WaitGroup, len(tp.stages))
 	var wgWin sync.WaitGroup
 
-	// Spout: route data, generate watermarks, broadcast them.
+	// Spout: route data into scatter buffers, generate watermarks,
+	// broadcast control tuples behind a full flush.
 	wgSpout.Add(1)
 	go func() {
 		defer wgSpout.Done()
@@ -297,6 +325,8 @@ func (tp *Topology) Run() error {
 				close(c)
 			}
 		}()
+		out := newBatcher(firstIn, tp.cfg.BatchSize, pool)
+		defer out.flushAll() // runs before the channel-close defer above
 		var part Partitioner
 		if len(tp.stages) > 0 {
 			part = NewShuffle()
@@ -329,9 +359,10 @@ func (tp *Topology) Run() error {
 				if err != nil {
 					failed.set(fmt.Errorf("spe: checkpoint trigger: %w", err))
 				} else if start {
-					for _, c := range firstIn {
-						c <- Message{IsBarrier: true, Barrier: id, Sender: 0}
-					}
+					// The flush inside broadcast makes the barrier
+					// partition each channel exactly at offset, batched
+					// or not.
+					out.broadcast(Message{IsBarrier: true, Barrier: id, Sender: 0})
 				}
 			}
 			t, ok := tp.spout.Next()
@@ -344,12 +375,10 @@ func (tp *Topology) Run() error {
 			seen = true
 			if gen != nil {
 				if wm, emit := gen.Observe(t.Ts); emit {
-					for _, c := range firstIn {
-						c <- Message{IsWM: true, WM: wm, Sender: 0}
-					}
+					out.broadcast(Message{IsWM: true, WM: wm, Sender: 0})
 				}
 			}
-			firstIn[part.Route(t, len(firstIn))] <- Message{Tuple: t, Sender: 0}
+			out.send(part.Route(t, len(firstIn)), Message{Tuple: t, Sender: 0})
 			offset++
 		}
 		// At end of a bounded stream every tuple has been observed,
@@ -357,9 +386,7 @@ func (tp *Topology) Run() error {
 		// (the semantics Flink gives bounded inputs). Managers clamp
 		// their fire range to windows that received tuples.
 		if tp.cfg.FinalWatermark && seen && tp.cfg.WatermarkPeriod > 0 && failed.get() == nil {
-			for _, c := range firstIn {
-				c <- Message{IsWM: true, WM: int64(^uint64(0) >> 1), Sender: 0}
-			}
+			out.broadcast(Message{IsWM: true, WM: int64(^uint64(0) >> 1), Sender: 0})
 		}
 	}()
 
@@ -378,7 +405,7 @@ func (tp *Topology) Run() error {
 		stageWGs[si] = wg
 		for wi := 0; wi < s.par; wi++ {
 			wg.Add(1)
-			go func(si, wi int, in chan Message, fn MapFunc) {
+			go func(si, wi int, in chan []Message, fn MapFunc) {
 				defer wg.Done()
 				var part Partitioner
 				if lastStage {
@@ -386,54 +413,62 @@ func (tp *Topology) Run() error {
 				} else {
 					part = NewShuffle()
 				}
+				out := newBatcher(nextIn, tp.cfg.BatchSize, pool)
+				defer out.flushAll() // before wg.Done → before downstream close
 				tracker := watermark.NewTracker(senders)
 				var al *barrierAligner
 				if hooks != nil {
 					al = newBarrierAligner(senders, hooks.clock(), nil)
 				}
+				// dead is the failure flag sampled once per batch: the
+				// hot loop avoids even the atomic load, at the cost of
+				// draining at most one extra batch after a failure.
+				dead := false
 				process := func(msg Message) {
 					if msg.IsWM {
 						if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
-							for _, c := range nextIn {
-								c <- Message{IsWM: true, WM: wm, Sender: wi}
-							}
+							out.broadcast(Message{IsWM: true, WM: wm, Sender: wi})
 						}
 						return
 					}
-					if failed.get() != nil {
+					if dead {
 						return
 					}
-					if out, ok := fn(msg.Tuple); ok {
-						nextIn[part.Route(out, len(nextIn))] <- Message{Tuple: out, Sender: wi}
+					if t, ok := fn(msg.Tuple); ok {
+						out.send(part.Route(t, len(nextIn)), Message{Tuple: t, Sender: wi})
 					}
 				}
-				for msg := range in {
-					if al == nil || (!al.Aligning() && !msg.IsBarrier) {
-						process(msg)
-						continue
-					}
-					events, err := al.Observe(msg)
-					if err != nil {
-						failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.stages[si].name, wi, err))
-						continue
-					}
-					for _, ev := range events {
-						if ev.snapshot {
-							// Stateless stages have nothing to snapshot;
-							// the alignment point just forwards the
-							// barrier to every downstream worker.
-							for _, c := range nextIn {
-								c <- Message{IsBarrier: true, Barrier: ev.id, Sender: wi}
-							}
+				for batch := range in {
+					dead = failed.get() != nil
+					for _, msg := range batch {
+						if al == nil || (!al.Aligning() && !msg.IsBarrier) {
+							process(msg)
 							continue
 						}
-						process(ev.msg)
+						events, err := al.Observe(msg)
+						if err != nil {
+							failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.stages[si].name, wi, err))
+							continue
+						}
+						for _, ev := range events {
+							if ev.snapshot {
+								// Stateless stages have nothing to
+								// snapshot; the alignment point just
+								// forwards the barrier to every
+								// downstream worker (flushing pending
+								// data first).
+								out.broadcast(Message{IsBarrier: true, Barrier: ev.id, Sender: wi})
+								continue
+							}
+							process(ev.msg)
+						}
 					}
+					pool.put(batch)
 				}
 			}(si, wi, stageIn[si][wi], s.fn)
 		}
 		// Close the next stage's channels when this stage finishes.
-		go func(wg *sync.WaitGroup, nextIn []chan Message, prev func()) {
+		go func(wg *sync.WaitGroup, nextIn []chan []Message, prev func()) {
 			prev() // wait for upstream to close our inputs first
 			wg.Wait()
 			for _, c := range nextIn {
@@ -450,73 +485,136 @@ func (tp *Topology) Run() error {
 	for wi := 0; wi < tp.windowed.par; wi++ {
 		mgr := managers[wi]
 		wgWin.Add(1)
-		go func(wi int, in chan Message, mgr core.Manager) {
+		go func(wi int, in chan []Message, mgr core.Manager) {
 			defer wgWin.Done()
 			tracker := watermark.NewTracker(winSenders)
 			var al *barrierAligner
 			if hooks != nil {
 				al = newBarrierAligner(winSenders, hooks.clock(), hooks.AlignStall)
 			}
-			process := func(msg Message) {
-				if failed.get() != nil {
+			// Contiguous data tuples are drained through the manager's
+			// OnTupleBatch fast path (asserted once, outside the loop);
+			// managers without one fall back to the per-tuple shim.
+			bm, hasBatch := mgr.(core.BatchManager)
+			scratch := make([]tuple.Tuple, 0, tp.cfg.BatchSize)
+			var sinkBuf []sinkItem
+			flushSink := func() {
+				if len(sinkBuf) > 0 {
+					results <- sinkBuf
+					sinkBuf = nil
+				}
+			}
+			emit := func(rs []core.Result) {
+				for _, r := range rs {
+					sinkBuf = append(sinkBuf, sinkItem{worker: wi, res: r})
+				}
+				if len(sinkBuf) >= tp.cfg.BatchSize {
+					flushSink()
+				}
+			}
+			// ingest drains the pending tuple run through the manager.
+			// It runs before any control tuple is acted on (watermark,
+			// snapshot) so the manager observes exactly the per-tuple
+			// order.
+			ingest := func() {
+				if len(scratch) == 0 {
 					return
 				}
 				var rs []core.Result
 				var err error
-				if msg.IsWM {
-					if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
-						rs, err = mgr.OnWatermark(wm)
-					}
+				if hasBatch {
+					rs, err = bm.OnTupleBatch(scratch)
 				} else {
-					rs, err = mgr.OnTuple(msg.Tuple)
+					rs, err = core.IngestBatch(mgr, scratch)
 				}
+				scratch = scratch[:0]
 				if err != nil {
 					failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
 					return
 				}
-				for _, r := range rs {
-					results <- sinkItem{worker: wi, res: r}
+				emit(rs)
+			}
+			// dead samples the failure flag once per batch (see the
+			// stateless stage): data after a failure drains for at most
+			// one batch before the worker goes quiet.
+			dead := false
+			process := func(msg Message) {
+				if dead {
+					return
+				}
+				if msg.IsWM {
+					// Every tuple routed before this watermark must
+					// reach the manager first.
+					ingest()
+					if failed.get() != nil {
+						return
+					}
+					if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
+						rs, err := mgr.OnWatermark(wm)
+						if err != nil {
+							failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+							return
+						}
+						emit(rs)
+					}
+					return
+				}
+				scratch = append(scratch, msg.Tuple)
+				if len(scratch) >= tp.cfg.BatchSize {
+					ingest()
 				}
 			}
-			for msg := range in {
-				if msg.IsBarrier && hooks != nil && hooks.BarrierSeen != nil {
-					if err := hooks.BarrierSeen(msg.Barrier, wi, msg.Sender); err != nil {
-						failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+			for batch := range in {
+				dead = failed.get() != nil
+				for _, msg := range batch {
+					if msg.IsBarrier && hooks != nil && hooks.BarrierSeen != nil {
+						if err := hooks.BarrierSeen(msg.Barrier, wi, msg.Sender); err != nil {
+							failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+						}
 					}
-				}
-				if al == nil || (!al.Aligning() && !msg.IsBarrier) {
-					process(msg)
-					continue
-				}
-				events, err := al.Observe(msg)
-				if err != nil {
-					failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
-					continue
-				}
-				for _, ev := range events {
-					if ev.snapshot {
-						if failed.get() != nil {
-							continue
-						}
-						if hooks.Snapshot != nil {
-							if err := hooks.Snapshot(ev.id, wi, mgr); err != nil {
-								failed.set(fmt.Errorf("spe: snapshot %d at %s[%d]: %w", ev.id, tp.windowed.name, wi, err))
-							}
-						}
+					if al == nil || (!al.Aligning() && !msg.IsBarrier) {
+						process(msg)
 						continue
 					}
-					process(ev.msg)
+					events, err := al.Observe(msg)
+					if err != nil {
+						failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
+						continue
+					}
+					for _, ev := range events {
+						if ev.snapshot {
+							// The snapshot must cover every pre-barrier
+							// tuple, including the ones still in the
+							// scratch run.
+							ingest()
+							if failed.get() != nil {
+								continue
+							}
+							if hooks.Snapshot != nil {
+								if err := hooks.Snapshot(ev.id, wi, mgr); err != nil {
+									failed.set(fmt.Errorf("spe: snapshot %d at %s[%d]: %w", ev.id, tp.windowed.name, wi, err))
+								}
+							}
+							continue
+						}
+						process(ev.msg)
+					}
 				}
+				pool.put(batch)
 			}
+			ingest()
+			flushSink()
 		}(wi, winIn[wi], mgr)
 	}
 
-	// Sink.
+	// Sink: fan-in arrives as []sinkItem batches.
 	wgSink.Add(1)
 	go func() {
 		defer wgSink.Done()
-		for item := range results {
-			tp.sink(item.worker, item.res)
+		for items := range results {
+			for _, item := range items {
+				tp.sink(item.worker, item.res)
+			}
 		}
 	}()
 

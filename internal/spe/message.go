@@ -55,10 +55,20 @@ func NewShuffleAt(start int) *Shuffle {
 	return &Shuffle{next: start}
 }
 
-// Route implements Partitioner.
+// Route implements Partitioner. The counter is kept bounded in [0, n):
+// an unbounded increment would eventually overflow int, and a negative
+// counter modulo n is negative in Go — an out-of-range worker index.
 func (s *Shuffle) Route(_ tuple.Tuple, n int) int {
+	if s.next < 0 {
+		// Defensive: a counter constructed (or wrapped) negative must
+		// never index out of bounds.
+		s.next = 0
+	}
 	i := s.next % n
-	s.next++
+	s.next = i + 1
+	if s.next >= n {
+		s.next = 0
+	}
 	return i
 }
 

@@ -31,7 +31,8 @@ var ErrNotFound = errors.New("storage: segment not found")
 type SpillStore interface {
 	// Store persists a batch of tuples under key, appending to any
 	// batch already stored there (a worker spills a window in chunks
-	// as its buffer overflows).
+	// as its buffer overflows). Implementations must not retain ts
+	// after returning: callers recycle the chunk buffer.
 	Store(key string, ts []tuple.Tuple) error
 	// Get retrieves every tuple stored under key, in store order.
 	Get(key string) ([]tuple.Tuple, error)

@@ -170,6 +170,7 @@ type Query struct {
 	backend     Backend
 	seed        int64
 	queueSize   int
+	batchSize   int
 	wmPeriod    time.Duration
 	wmLag       time.Duration
 
@@ -418,10 +419,25 @@ func (q *Query) Seed(s int64) *Query {
 	return q
 }
 
-// QueueSize bounds worker input queues (back-pressure); zero keeps the
-// default of 1024.
+// QueueSize bounds worker input queues, counted in batches
+// (back-pressure); zero keeps the default of 1024.
 func (q *Query) QueueSize(n int) *Query {
 	q.queueSize = n
+	return q
+}
+
+// BatchSize sets the micro-batch size for inter-stage channel hops:
+// workers move tuples between pipeline stages in batches of up to n,
+// flushing early on watermarks, barriers, and stream end, so windowing,
+// watermark, and checkpoint semantics are identical to per-tuple
+// transfer. 1 disables batching (per-tuple sends); zero keeps the
+// default of 64. Larger batches raise throughput at the cost of up to
+// n tuples of intra-pipeline latency between watermarks.
+func (q *Query) BatchSize(n int) *Query {
+	if n < 0 {
+		return q.errf("batch size %d must be non-negative", n)
+	}
+	q.batchSize = n
 	return q
 }
 
@@ -624,6 +640,7 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	}
 	tp := spe.NewTopology(spe.Config{
 		QueueSize:       q.queueSize,
+		BatchSize:       q.batchSize,
 		WatermarkPeriod: wmPeriod,
 		WatermarkLag:    int64(q.wmLag),
 		Checkpoint:      hooks,
