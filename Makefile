@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race recovery fuzz bench-checkpoint bench-pipeline
+.PHONY: check build vet lint test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline
 
-check: build vet lint race recovery
+check: build vet lint race recovery obs
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,19 @@ race:
 recovery:
 	$(GO) test -race -run 'TestCrashRecovery|TestRecovery|TestCoordinator' ./internal/checkpoint/
 	$(GO) test -race -run 'TestCheckpoint' .
+
+# Live observability plane: the obs package (reporter/server lifecycle,
+# Prometheus writer, trace ring) and the end-to-end mid-run scrape +
+# merged-source recovery tests, race-enabled (the reporter and server
+# run concurrently with the engine's writers).
+obs:
+	$(GO) test -race ./internal/obs/
+	$(GO) test -race -run 'TestObserve|TestMergedSourceCheckpointResume' .
+
+# Scrape gate: run a real query with -serve, GET /metrics mid-run, and
+# fail unless every required metric family is served (what CI runs).
+obs-scrape:
+	$(GO) run ./cmd/spear-demo -dataset dec -tuples 100000 -scrapecheck
 
 # Short fuzz smoke for the binary codecs beyond their checked-in
 # corpora: the tuple spill codec and the checkpoint snapshot codecs

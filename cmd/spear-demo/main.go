@@ -8,13 +8,18 @@
 //	spear-demo -dataset dec -tuples 400000
 //	spear-demo -dataset debs -budget 2000
 //	spear-demo -dataset gcm -epsilon 0.05
+//	spear-demo -serve :8080                  # live /metrics during the run
+//	spear-demo -scrapecheck                  # self-scrape gate (CI)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +27,20 @@ import (
 	"spear/internal/dataset"
 	"spear/internal/window"
 )
+
+// requiredFamilies are the metric families the -scrapecheck gate
+// demands from a mid-run /metrics scrape.
+var requiredFamilies = []string{
+	"spear_source_tuples_total",
+	"spear_edge_queue_depth",
+	"spear_edge_queue_capacity",
+	"spear_sink_queue_depth",
+	"spear_worker_watermark_lag_seconds",
+	"spear_batch_occupancy",
+	"spear_worker_windows_total",
+	"spear_spill_ops_total",
+	"spear_checkpoint_completed_total",
+}
 
 func main() {
 	var (
@@ -31,8 +50,14 @@ func main() {
 		epsilon = flag.Float64("epsilon", 0.10, "relative error bound ε")
 		conf    = flag.Float64("confidence", 0.95, "confidence α")
 		seed    = flag.Int64("seed", 1, "random seed")
+		serve   = flag.String("serve", "", "serve live observability during the SPEAr run: Prometheus at /metrics, JSON at /snapshot, lifecycle samples at /trace (e.g. :8080)")
+		trcEvr  = flag.Int("traceevery", 0, "record the lifecycle of every nth tuple into the /trace ring (0 = off)")
+		scrape  = flag.Bool("scrapecheck", false, "self-scrape /metrics mid-run and exit non-zero unless every required metric family is served (CI gate; implies -serve :0)")
 	)
 	flag.Parse()
+	if *scrape && *serve == "" {
+		*serve = "127.0.0.1:0"
+	}
 
 	build := func(backend spear.Backend) (*spear.Query, *dataset.Stream) {
 		var ds *dataset.Stream
@@ -99,7 +124,28 @@ func main() {
 	}
 	var lines []line
 	qs, _ := build(spear.BackendSPEAr)
+	var (
+		obsAddr    string
+		scrapeOnce sync.Once
+		scrapeErr  error
+		scraped    bool
+	)
+	if *serve != "" {
+		qs.ObserveAddr(*serve).OnObserveStart(func(addr string) {
+			obsAddr = addr
+			fmt.Fprintf(os.Stderr, "observability: http://%s/metrics (also /snapshot, /trace, /healthz)\n", addr)
+		})
+		if *trcEvr > 0 {
+			qs.TraceEvery(*trcEvr, 0)
+		}
+	}
 	spearSum, err := qs.Run(func(worker int, r spear.Result) {
+		if *scrape {
+			// Self-scrape on the first result: the pipeline is live, the
+			// server is up, and telemetry is mid-flight — exactly what an
+			// external Prometheus would see.
+			scrapeOnce.Do(func() { scrapeErr, scraped = checkScrape(obsAddr), true })
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		e, ok := exact[r.WindowID]
@@ -111,6 +157,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *scrape {
+		if !scraped {
+			scrapeErr = fmt.Errorf("scrapecheck: the run produced no results, so no mid-run scrape happened")
+		}
+		if scrapeErr != nil {
+			fmt.Fprintln(os.Stderr, scrapeErr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "scrapecheck: ok (%d required families served mid-run)\n", len(requiredFamilies))
 	}
 
 	sort.Slice(lines, func(i, j int) bool { return lines[i].r.Start < lines[j].r.Start })
@@ -125,6 +181,40 @@ func main() {
 		exactSum.MeanProcTime, spearSum.MeanProcTime,
 		float64(exactSum.MeanProcTime)/float64(spearSum.MeanProcTime),
 		spearSum.Accelerated, spearSum.Windows)
+}
+
+// checkScrape GETs /metrics while the query runs and verifies the
+// response is Prometheus text format carrying every required family.
+func checkScrape(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("scrapecheck: observability server never reported an address")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("scrapecheck: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrapecheck: /metrics returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		return fmt.Errorf("scrapecheck: unexpected content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrapecheck: reading body: %w", err)
+	}
+	text := string(body)
+	var missing []string
+	for _, fam := range requiredFamilies {
+		if !strings.Contains(text, "# TYPE "+fam+" ") {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("scrapecheck: /metrics is missing families: %s", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 // resultDelta is the realized relative error of one window (L1 across

@@ -13,29 +13,56 @@ var hotLoopScope = []string{
 	"internal/spe",
 }
 
-// analyzerHotLoop flags per-tuple costs inside the engine's worker hot
-// loops: any mention of time.Now, and any map allocation (make(map...)
-// or a map composite literal), lexically inside a for/range loop of a
-// function reached from a `go func` literal launched by Topology.Run.
+// hotTupleScope limits the per-tuple manager check to the window
+// managers: their OnTuple bodies (and OnTupleBatch loops) execute once
+// per tuple at full stream rate.
+var hotTupleScope = []string{
+	"internal/core",
+}
+
+// analyzerHotLoop flags per-tuple costs inside the engine's hot paths:
 //
-// Reachability is intraprocedural with one hop of package-local call
-// resolution: the seed set is every goroutine literal in Topology.Run
-// (nested closures included), expanded through calls to same-package
-// functions and methods resolved via the type info. Code called through
-// interfaces or from other packages is out of reach by design — the
-// analyzer is a tripwire for the obvious regression, not an escape
-// analysis. Loop setup (before the loop) is deliberately not flagged:
-// per-worker initialization may build maps and read clocks freely.
+//   - In internal/spe worker loops (functions reached from a `go func`
+//     literal launched by Topology.Run): any mention of time.Now, any
+//     map allocation (make(map...) or a map composite literal), any
+//     explicit mutex acquisition (.Lock/.RLock), and any mutex-guarded
+//     metric observation (.Observe/.ObserveDuration through a selector
+//     chain passing a Metrics field — metrics.Histogram takes a lock
+//     per observation).
+//   - In internal/core manager entry points: the same mutex rules over
+//     the whole OnTuple body (it runs once per tuple) and over the
+//     loops of OnTupleBatch. No call expansion here, so the per-window
+//     fire paths — which legitimately observe ProcTime once per window
+//     through helpers — stay exempt.
+//
+// spe reachability is intraprocedural with one hop of package-local
+// call resolution: the seed set is every goroutine literal in
+// Topology.Run (nested closures included), expanded through calls to
+// same-package functions and methods resolved via the type info. Code
+// called through interfaces or from other packages is out of reach by
+// design — the analyzer is a tripwire for the obvious regression, not
+// an escape analysis. Loop setup (before the loop) is deliberately not
+// flagged: per-worker initialization may build maps, read clocks, and
+// take locks freely.
 var analyzerHotLoop = &Analyzer{
 	Name: "hotloop",
-	Doc:  "time.Now or map allocation inside internal/spe worker hot loops (per-tuple cost)",
+	Doc:  "time.Now, map allocation, or mutex-guarded metric call inside engine hot loops (per-tuple cost)",
 	Run:  runHotLoop,
 }
 
 func runHotLoop(p *Pkg) []Finding {
-	if !inScope(p, hotLoopScope...) {
-		return nil
+	var out []Finding
+	if inScope(p, hotLoopScope...) {
+		out = append(out, runHotWorkers(p)...)
 	}
+	if inScope(p, hotTupleScope...) {
+		out = append(out, runHotManagers(p)...)
+	}
+	return out
+}
+
+// runHotWorkers is the internal/spe side: goroutines of Topology.Run.
+func runHotWorkers(p *Pkg) []Finding {
 
 	// Index package-level function declarations by their object, and
 	// remember which file holds each (the time import alias is
@@ -192,6 +219,9 @@ func scanHotBody(p *Pkg, body *ast.BlockStmt, timeAlias string) []Finding {
 						})
 					}
 				}
+				if f := mutexMetricFinding(p, n, "a worker hot loop"); f != nil {
+					out = append(out, *f)
+				}
 			case *ast.CompositeLit:
 				if _, isMap := n.Type.(*ast.MapType); isMap {
 					out = append(out, Finding{
@@ -207,5 +237,116 @@ func scanHotBody(p *Pkg, body *ast.BlockStmt, timeAlias string) []Finding {
 	for _, loop := range loops {
 		flagLoop(loop)
 	}
+	return out
+}
+
+// mutexMetricFinding classifies one call as a per-tuple locking cost:
+// an explicit mutex acquisition, or a metric observation that takes a
+// mutex internally (metrics.Histogram.Observe/ObserveDuration, reached
+// through a Metrics field). Counter and Gauge are atomic and exempt;
+// non-metric Observe methods (e.g. the barrier aligner's, the watermark
+// generator's) are exempt because their chains never pass a Metrics
+// selector. Returns nil when the call is not a target.
+func mutexMetricFinding(p *Pkg, call *ast.CallExpr, where string) *Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if len(call.Args) == 0 {
+			return &Finding{
+				Pos:   p.Fset.Position(call.Pos()),
+				Check: "hotloop",
+				Msg:   "mutex acquired inside " + where + "; a per-tuple lock serializes the stage — use atomics or amortize per batch",
+			}
+		}
+	case "Observe", "ObserveDuration":
+		if chainContains(sel.X, "Metrics") {
+			return &Finding{
+				Pos:   p.Fset.Position(call.Pos()),
+				Check: "hotloop",
+				Msg:   "mutex-guarded metric call (Histogram." + sel.Sel.Name + ") inside " + where + "; the histogram locks per observation — use atomic Counter/Gauge on per-tuple paths or record once per batch/window",
+			}
+		}
+	}
+	return nil
+}
+
+// chainContains reports whether the selector chain of e (a.b.c...) or
+// its call results pass through an identifier or field named name.
+func chainContains(e ast.Expr, name string) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name == name
+		case *ast.SelectorExpr:
+			if x.Sel.Name == name {
+				return true
+			}
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// runHotManagers is the internal/core side: OnTuple runs once per
+// tuple, so its whole body is hot; OnTupleBatch amortizes per batch, so
+// only its loops are hot. No call expansion — helpers like the
+// per-window fire paths observe ProcTime once per window, legitimately.
+func runHotManagers(p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "OnTuple":
+				out = append(out, scanMutexMetric(p, fd.Body, "the per-tuple OnTuple path")...)
+			case "OnTupleBatch":
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.ForStmt:
+						out = append(out, scanMutexMetric(p, n.Body, "an OnTupleBatch per-tuple loop")...)
+						return false
+					case *ast.RangeStmt:
+						out = append(out, scanMutexMetric(p, n.Body, "an OnTupleBatch per-tuple loop")...)
+						return false
+					case *ast.FuncLit:
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// scanMutexMetric applies mutexMetricFinding to every call in body,
+// stopping at nested function literals (deferred or stored closures do
+// not run per tuple).
+func scanMutexMetric(p *Pkg, body *ast.BlockStmt, where string) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := mutexMetricFinding(p, call, where); f != nil {
+				out = append(out, *f)
+			}
+		}
+		return true
+	})
 	return out
 }

@@ -133,10 +133,34 @@ func TestHotLoop(t *testing.T) {
 	checkFixture(t, analyzerHotLoop, "hotloop", "internal/spe")
 }
 
+// TestHotTuple is the internal/core side of the hotloop analyzer: the
+// per-tuple manager entry points (OnTuple bodies, OnTupleBatch loops).
+func TestHotTuple(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "hottuple", "internal/core")
+}
+
 func TestHotLoopOutOfScope(t *testing.T) {
-	pkg := loadFixture(t, filepath.Join("testdata", "src", "hotloop"), "internal/core")
-	if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
-		t.Errorf("out-of-scope package should be clean, got %d findings", len(fs))
+	for _, fixture := range []string{"hotloop", "hottuple"} {
+		pkg := loadFixture(t, filepath.Join("testdata", "src", fixture), "internal/fixture")
+		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
+			t.Errorf("out-of-scope %s should be clean, got %d findings", fixture, len(fs))
+		}
+	}
+}
+
+// TestHotLoopCrossScope pins the scope split: the worker fixture loaded
+// as internal/core must be clean (no Topology.Run expansion there), and
+// the manager fixture loaded as internal/spe must be clean (no OnTuple
+// scan there).
+func TestHotLoopCrossScope(t *testing.T) {
+	for fixture, rel := range map[string]string{
+		"hotloop":  "internal/core",
+		"hottuple": "internal/spe",
+	} {
+		pkg := loadFixture(t, filepath.Join("testdata", "src", fixture), rel)
+		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
+			t.Errorf("%s as %s should be clean, got %d findings", fixture, rel, len(fs))
+		}
 	}
 }
 

@@ -7,15 +7,35 @@
 // goroutine.
 package hotloop
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Message stands in for the engine's transfer unit.
 type Message struct{ V int }
 
+// workerTelemetry mimics metrics.Worker: ProcTime is a mutex-guarded
+// histogram.
+type workerTelemetry struct{ ProcTime histo }
+
+type histo struct{}
+
+func (histo) Observe(float64)               {}
+func (histo) ObserveDuration(time.Duration) {}
+
+// aligner mimics the barrier aligner: its Observe is NOT a metric call
+// and must stay unflagged.
+type aligner struct{}
+
+func (aligner) Observe(m Message) {}
+
 // Topology mimics spe.Topology.
 type Topology struct {
-	in  chan []Message
-	par int
+	in      chan []Message
+	par     int
+	mu      sync.Mutex
+	Metrics *workerTelemetry
 }
 
 // Run launches the worker goroutines, like spe.Topology.Run.
@@ -38,10 +58,21 @@ func (tp *Topology) Run() error {
 				_ = m
 			}
 		}
+		// Locks and mutex-guarded metrics in setup are fine.
+		tp.mu.Lock()
+		tp.mu.Unlock()
+		tp.Metrics.ProcTime.Observe(0)
+
+		var al aligner
 		for batch := range tp.in {
 			for _, msg := range batch {
-				_ = time.Now().UnixNano() // want "time.Now"
-				idx := map[string]int{}   // want "map literal"
+				_ = time.Now().UnixNano()              // want "time.Now"
+				idx := map[string]int{}                // want "map literal"
+				tp.mu.Lock()                           // want "mutex acquired"
+				tp.mu.Unlock()                         //
+				tp.Metrics.ProcTime.Observe(1)         // want "mutex-guarded metric"
+				tp.Metrics.ProcTime.ObserveDuration(0) // want "mutex-guarded metric"
+				al.Observe(msg)                        // aligner, not a metric: quiet
 				_ = idx
 				process(msg)
 				tp.pump(msg)

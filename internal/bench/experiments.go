@@ -33,13 +33,13 @@ const (
 
 // Experiments maps experiment ids to their implementations.
 var Experiments = map[string]func(Options) ([]*Table, error){
-	"table1": Table1,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8a":  Fig8a,
-	"fig8b":  Fig8b,
-	"fig8c":  Fig8c,
-	"fig8d":  Fig8d,
+	"table1":     Table1,
+	"fig6":       Fig6,
+	"fig7":       Fig7,
+	"fig8a":      Fig8a,
+	"fig8b":      Fig8b,
+	"fig8c":      Fig8c,
+	"fig8d":      Fig8d,
 	"table2":     Table2,
 	"fig9":       Fig9,
 	"fig10":      Fig10,
@@ -92,7 +92,7 @@ func decQuery(opt Options, median bool, backend spear.Backend, budget, par int, 
 	if disableInc {
 		q.DisableIncremental()
 	}
-	return q
+	return opt.observe(q)
 }
 
 // gcmQuery builds the GCM grouped mean-CPU-per-class CQ.
@@ -104,7 +104,7 @@ func gcmQuery(opt Options, backend spear.Backend, winSize, winSlide time.Duratio
 		winSlide = 30 * time.Minute
 	}
 	ds := gcmStream(opt, winSize, winSlide)
-	return spear.NewQuery("gcm").
+	return opt.observe(spear.NewQuery("gcm").
 		Source(spear.FromFunc(ds.Next)).
 		SlidingWindow(winSize, winSlide).
 		GroupBy(ds.Key).
@@ -114,13 +114,13 @@ func gcmQuery(opt Options, backend spear.Backend, winSize, winSlide time.Duratio
 		BudgetTuples(gcmBudget).
 		Parallelism(par).
 		Seed(opt.Seed).
-		WithBackend(backend)
+		WithBackend(backend))
 }
 
 // debsQuery builds the DEBS grouped average-fare-per-route CQ.
 func debsQuery(opt Options, backend spear.Backend, par int) *spear.Query {
 	ds := debsStream(opt)
-	return spear.NewQuery("debs").
+	return opt.observe(spear.NewQuery("debs").
 		Source(spear.FromFunc(ds.Next)).
 		SlidingWindow(30*time.Minute, 15*time.Minute).
 		GroupBy(ds.Key).
@@ -129,7 +129,7 @@ func debsQuery(opt Options, backend spear.Backend, par int) *spear.Query {
 		BudgetTuples(debsBudget).
 		Parallelism(par).
 		Seed(opt.Seed).
-		WithBackend(backend)
+		WithBackend(backend))
 }
 
 // ---- experiments ----
@@ -450,7 +450,7 @@ func Fig9(opt Options) ([]*Table, error) {
 				Parallelism(1).
 				Seed(opt.Seed).
 				WithBackend(backend)
-			return q
+			return opt.observe(q)
 		}
 		storm, err := runQuery("storm", mk(spear.BackendExact))
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"spear/internal/agg"
 	"spear/internal/core"
 	"spear/internal/metrics"
+	"spear/internal/obs"
 	"spear/internal/sample"
 	"spear/internal/spe"
 	"spear/internal/storage"
@@ -79,15 +80,41 @@ func Pipeline(opt Options) ([]*Table, error) {
 			res := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
+					// With -observe/-serve the run carries the full live
+					// observability plane: fresh instruments, a ticking
+					// reporter, and (with an address) the HTTP endpoint —
+					// so this experiment doubles as the overhead gate.
+					var ins *obs.Instruments
+					var rep *obs.Reporter
+					var srv *obs.Server
+					if opt.observed() {
+						ins = obs.NewInstruments()
+						rep = obs.NewReporter(ins, 0)
+						rep.Start()
+						if opt.ObserveAddr != "" {
+							srv = obs.NewServer(ins, rep)
+							if err := srv.Start(opt.ObserveAddr); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
 					tp := spe.NewTopology(spe.Config{
 						WatermarkPeriod: 10_000,
 						BatchSize:       batch,
+						Obs:             ins,
 					}).
 						SetSpout(spe.NewSliceSpout(in)).
 						AddMap("annotate", par, func(t tuple.Tuple) (tuple.Tuple, bool) { return t, true }).
 						SetWindowed("mean", par, nil, factory).
 						SetSink(func(int, core.Result) {})
-					if err := tp.Run(); err != nil {
+					err := tp.Run()
+					if srv != nil {
+						srv.Stop()
+					}
+					if rep != nil {
+						rep.Stop()
+					}
+					if err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -139,6 +166,9 @@ func Pipeline(opt Options) ([]*Table, error) {
 		"target: batch=64 ≥2x batch=1 at 4 workers; steady-state allocs/tuple ≤1",
 		fmt.Sprintf("stream: %d tuples, tumbling window of 10k ticks, shuffle partitioning", tuples),
 	)
+	if opt.observed() {
+		t.Notes = append(t.Notes, "live observability was ON (instruments + periodic reporter); compare against an unobserved run for overhead")
+	}
 
 	if opt.BenchJSON != "" {
 		blob, err := json.MarshalIndent(struct {

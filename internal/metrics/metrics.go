@@ -28,87 +28,139 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
-// Gauge is an instantaneous value with a recorded high-water mark.
+// Gauge is an instantaneous value with a recorded high-water mark. It
+// is lock-free: Set is one atomic store plus a CAS loop that only spins
+// while the peak is actually advancing, so per-tuple gauge refreshes in
+// the core managers never serialize on a mutex.
 type Gauge struct {
-	mu   sync.Mutex
-	v    int64
-	peak int64
+	v    atomic.Int64
+	peak atomic.Int64
 }
 
 // Set records the current value and updates the peak.
 func (g *Gauge) Set(v int64) {
-	g.mu.Lock()
-	g.v = v
-	if v > g.peak {
-		g.peak = v
+	g.v.Store(v)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
 	}
-	g.mu.Unlock()
 }
 
 // Load returns the current value.
-func (g *Gauge) Load() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.v
-}
+func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Peak returns the high-water mark.
-func (g *Gauge) Peak() int64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.peak
-}
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// HistogramCap bounds a Histogram's retained samples. Count, Sum, Mean,
+// Min, and Max stay exact forever; order statistics (Percentile) are
+// exact up to HistogramCap observations and computed from a uniform
+// reservoir sample beyond it. The cap keeps memory O(1) on unbounded
+// streams — exactly the regime the live observability plane makes
+// routine — while leaving short experiment runs (a few thousand windows)
+// bit-identical to the previous keep-everything implementation.
+const HistogramCap = 4096
 
 // Histogram records float64 observations and reports order statistics.
-// It keeps every observation: experiments record one value per window,
-// a few thousand at most, and exactness matters more than bounded
-// memory here.
+// Memory is bounded at HistogramCap samples via reservoir sampling
+// (Vitter's Algorithm R with a deterministic SplitMix64 stream);
+// aggregate statistics (Count, Sum, Mean, Min, Max) are exact over every
+// observation regardless of the cap.
 type Histogram struct {
-	mu      sync.Mutex
-	samples []float64
-	sum     float64
+	mu       sync.Mutex
+	samples  []float64
+	count    int64
+	sum      float64
+	min, max float64
+	rng      uint64
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
-	h.samples = append(h.samples, v)
+	h.count++
 	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < HistogramCap {
+		h.samples = append(h.samples, v)
+	} else if j := h.rand64() % uint64(h.count); j < HistogramCap {
+		h.samples[j] = v
+	}
 	h.mu.Unlock()
+}
+
+// rand64 steps the histogram's private SplitMix64 stream (caller holds
+// the mutex). A fixed generator keeps reservoir contents deterministic
+// for a given observation sequence.
+func (h *Histogram) rand64() uint64 {
+	h.rng += 0x9e3779b97f4a7c15
+	z := h.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d)) }
 
-// Count returns the number of observations.
+// Count returns the number of observations (exact, beyond the cap too).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Mean returns the arithmetic mean, or 0 with no observations.
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the exact arithmetic mean, or 0 with no observations.
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.count)
 }
 
 // Percentile returns the p-th percentile (p in [0,1]) by linear
-// interpolation, or 0 with no observations.
+// interpolation over the retained samples, or 0 with no observations.
+// Up to HistogramCap observations this is exact; beyond it, it is an
+// estimate from a uniform reservoir (p=0 and p=1 remain exact: they
+// return the tracked min/max).
 func (h *Histogram) Percentile(p float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	n := len(h.samples)
-	if n == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	sorted := make([]float64, n)
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	sorted := make([]float64, len(h.samples))
 	copy(sorted, h.samples)
 	sort.Float64s(sorted)
+	return percentileOf(sorted, p)
+}
+
+// percentileOf interpolates the p-th percentile of an already-sorted,
+// non-empty slice.
+func percentileOf(sorted []float64, p float64) float64 {
+	n := len(sorted)
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -124,10 +176,28 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// Max returns the largest observation, or 0 with none.
-func (h *Histogram) Max() float64 { return h.Percentile(1) }
+// Max returns the exact largest observation, or 0 with none.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
 
-// Samples returns a copy of all observations in arrival order.
+// Min returns the exact smallest observation, or 0 with none.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Samples returns a copy of the retained observations in arrival order
+// (all of them below HistogramCap; a uniform reservoir beyond).
 func (h *Histogram) Samples() []float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -140,7 +210,10 @@ func (h *Histogram) Samples() []float64 {
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.samples = h.samples[:0]
+	h.count = 0
 	h.sum = 0
+	h.min = 0
+	h.max = 0
 	h.mu.Unlock()
 }
 
@@ -220,11 +293,15 @@ type Summary struct {
 
 // Summarize merges all workers' telemetry: processing times are pooled
 // across workers (the paper reports "the average processing time among
-// all workers"), memory is the mean per-worker peak.
+// all workers"), memory is the mean per-worker peak. The mean uses the
+// histograms' exact sums and counts, so it is unaffected by sample
+// bounding; the 95th percentile pools the retained samples (exact while
+// every worker stays under HistogramCap observations).
 func (r *Registry) Summarize() Summary {
 	var s Summary
 	var pooled []float64
-	var memSum float64
+	var memSum, procSum float64
+	var procCount int64
 	for _, w := range r.Workers() {
 		s.Workers++
 		s.Windows += w.WindowsTotal.Load()
@@ -233,18 +310,19 @@ func (r *Registry) Summarize() Summary {
 		s.LateDropped += w.LateDropped.Load()
 		s.EstimationFailures += w.EstimationFailures.Load()
 		pooled = append(pooled, w.ProcTime.Samples()...)
+		procSum += w.ProcTime.Sum()
+		procCount += int64(w.ProcTime.Count())
 		memSum += float64(w.MemBytes.Peak())
 	}
 	if s.Workers > 0 {
 		s.MeanMemBytes = memSum / float64(s.Workers)
 	}
+	if procCount > 0 {
+		s.MeanProcTime = time.Duration(procSum / float64(procCount))
+	}
 	if len(pooled) > 0 {
-		var h Histogram
-		for _, v := range pooled {
-			h.Observe(v)
-		}
-		s.MeanProcTime = time.Duration(h.Mean())
-		s.P95ProcTime = time.Duration(h.Percentile(0.95))
+		sort.Float64s(pooled)
+		s.P95ProcTime = time.Duration(percentileOf(pooled, 0.95))
 	}
 	return s
 }

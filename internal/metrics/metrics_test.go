@@ -91,6 +91,75 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestGaugeConcurrentPeak(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j <= 1000; j++ {
+				g.Set(int64(w*1000 + j))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Peak() != 8000 {
+		t.Errorf("Peak = %d, want 8000 (CAS max must never lose the high-water mark)", g.Peak())
+	}
+	if g.Load() < 0 || g.Load() > 8000 {
+		t.Errorf("Load = %d outside observed range", g.Load())
+	}
+}
+
+// TestHistogramBoundedMemory is the regression test for the unbounded-
+// growth bug: 10M observations must retain O(HistogramCap) samples while
+// the aggregate statistics stay exact.
+func TestHistogramBoundedMemory(t *testing.T) {
+	var h Histogram
+	const n = 10_000_000
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	if got := len(h.Samples()); got > HistogramCap {
+		t.Fatalf("retained %d samples, want <= %d", got, HistogramCap)
+	}
+	if h.Count() != n {
+		t.Errorf("Count = %d, want %d", h.Count(), n)
+	}
+	if got, want := h.Mean(), 499.5; got != want {
+		t.Errorf("Mean = %v, want %v (must be exact beyond the cap)", got, want)
+	}
+	if h.Min() != 0 || h.Max() != 999 {
+		t.Errorf("Min/Max = %v/%v, want 0/999 (exact beyond the cap)", h.Min(), h.Max())
+	}
+	// The reservoir is uniform over [0, 1000): the median estimate must
+	// land near 500 (±10% is far looser than a 4096-sample bound).
+	if p50 := h.Percentile(0.5); p50 < 400 || p50 > 600 {
+		t.Errorf("p50 = %v, want ~500 from the reservoir", p50)
+	}
+}
+
+// TestHistogramSmallRunExact pins that runs under the cap are unchanged
+// by the bounding: every observation is retained and order statistics
+// are computed over the full set, exactly as before.
+func TestHistogramSmallRunExact(t *testing.T) {
+	var h Histogram
+	n := HistogramCap // boundary: still exact
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if got := len(h.Samples()); got != n {
+		t.Fatalf("retained %d samples, want all %d under the cap", got, n)
+	}
+	if got, want := h.Percentile(0.5), float64(n-1)/2; got != want {
+		t.Errorf("p50 = %v, want exact %v", got, want)
+	}
+	if got, want := h.Percentile(0.95), 0.95*float64(n-1); got != want {
+		t.Errorf("p95 = %v, want exact %v", got, want)
+	}
+}
+
 func TestHistogramObserveDuration(t *testing.T) {
 	var h Histogram
 	h.ObserveDuration(3 * time.Millisecond)

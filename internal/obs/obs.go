@@ -1,0 +1,187 @@
+// Package obs is the engine's live observability plane. Where
+// internal/metrics is a post-run summary (the paper's "periodic
+// reporting of runtime telemetry for each worker thread" collapsed to
+// one report at stream end), obs makes the same telemetry — plus the
+// dataflow state the batched engine added: per-edge queue depth,
+// micro-batch occupancy, watermark lag, spill and checkpoint traffic —
+// observable *while* the query runs.
+//
+// The design splits into three layers:
+//
+//   - Instruments: atomic-only counters/gauges plus zero-cost pull
+//     probes (closures over channel lengths) that the engine registers
+//     at topology start. Nothing here takes a lock on a per-tuple path.
+//   - Reporter: a clock-injected goroutine that periodically folds every
+//     instrument into an immutable Snapshot (reachable via an atomic
+//     pointer, so readers never block writers).
+//   - Server: an opt-in HTTP endpoint serving the Prometheus text
+//     exposition format at /metrics, a JSON snapshot at /snapshot, and
+//     the tuple-lifecycle trace ring at /trace.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"spear/internal/metrics"
+)
+
+// occBuckets are the micro-batch occupancy histogram's upper bounds
+// (messages per batch); a final implicit +Inf bucket catches anything
+// larger. Powers of two up to 256 bracket every plausible BatchSize.
+var occBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Edge is one inter-worker channel: a name, its capacity (in batches),
+// and a pull probe reading the instantaneous queue depth. The probe is
+// a closure over len(chan) — reading it costs the reader one atomic
+// load and the sender nothing at all.
+type Edge struct {
+	Name     string
+	Capacity int
+	Depth    func() int
+}
+
+// WorkerObs is one windowed worker's live state: the last merged
+// watermark it advanced to. Lag against the source high-water mark is
+// derived at snapshot time.
+type WorkerObs struct {
+	Name      string
+	watermark atomic.Int64
+	hasWM     atomic.Bool
+}
+
+// SetWatermark records an advanced watermark (called once per
+// watermark round, not per tuple).
+func (w *WorkerObs) SetWatermark(wm int64) {
+	w.watermark.Store(wm)
+	w.hasWM.Store(true)
+}
+
+// BatchOccupancy is a lock-free histogram of messages-per-batch,
+// updated once per received batch.
+type BatchOccupancy struct {
+	counts [10]atomic.Int64 // occBuckets + the +Inf bucket
+	sum    atomic.Int64     // total messages
+	n      atomic.Int64     // total batches
+}
+
+// Record folds one batch's length in.
+func (b *BatchOccupancy) Record(size int) {
+	i := 0
+	for i < len(occBuckets) && size > occBuckets[i] {
+		i++
+	}
+	b.counts[i].Add(1)
+	b.sum.Add(int64(size))
+	b.n.Add(1)
+}
+
+// Instruments is the registry the engine wires its probes into. All
+// registration methods are safe to call while a Reporter or Server is
+// concurrently snapshotting (the engine registers edges and workers as
+// Topology.Run builds the DAG, which may overlap the first scrape).
+type Instruments struct {
+	mu      sync.Mutex
+	edges   []Edge
+	workers []*WorkerObs
+	sink    *Edge
+
+	reg   *metrics.Registry
+	store spillStore
+	ckpt  *metrics.CheckpointMetrics
+	trace *TraceRing
+
+	// Source progress, published by the spout every sourcePublishMask+1
+	// tuples (and at stream end) to keep the hot loop at one branch per
+	// tuple in the common case.
+	sourceTuples    atomic.Int64
+	sourceHighWater atomic.Int64
+	sourceSeen      atomic.Bool
+
+	// Batches is the engine-wide micro-batch occupancy histogram,
+	// recorded at the windowed workers' receive loops.
+	Batches BatchOccupancy
+}
+
+// SourcePublishMask makes the spout publish its progress every 64
+// tuples: `offset&SourcePublishMask == 0` is the hot-loop gate.
+const SourcePublishMask = 63
+
+// NewInstruments returns an empty instrument registry.
+func NewInstruments() *Instruments { return &Instruments{} }
+
+// SetRegistry attaches the per-worker metrics registry so snapshots can
+// include the paper's worker telemetry (windows, acceleration, memory).
+func (in *Instruments) SetRegistry(r *metrics.Registry) {
+	in.mu.Lock()
+	in.reg = r
+	in.mu.Unlock()
+}
+
+// SetStore attaches the spill store whose Stats() snapshots include.
+func (in *Instruments) SetStore(s spillStore) {
+	in.mu.Lock()
+	in.store = s
+	in.mu.Unlock()
+}
+
+// SetCheckpointMetrics attaches fault-tolerance telemetry.
+func (in *Instruments) SetCheckpointMetrics(cm *metrics.CheckpointMetrics) {
+	in.mu.Lock()
+	in.ckpt = cm
+	in.mu.Unlock()
+}
+
+// EnableTrace installs a trace ring sampling every nth tuple/window,
+// keeping the most recent cap events. n < 1 selects 1 (trace
+// everything); cap < 1 selects DefaultTraceCap.
+func (in *Instruments) EnableTrace(n, cap int) *TraceRing {
+	tr := NewTraceRing(n, cap)
+	in.mu.Lock()
+	in.trace = tr
+	in.mu.Unlock()
+	return tr
+}
+
+// Trace returns the installed trace ring, nil when tracing is off.
+func (in *Instruments) Trace() *TraceRing {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.trace
+}
+
+// RegisterEdge adds one inter-worker channel probe.
+func (in *Instruments) RegisterEdge(name string, capacity int, depth func() int) {
+	in.mu.Lock()
+	in.edges = append(in.edges, Edge{Name: name, Capacity: capacity, Depth: depth})
+	in.mu.Unlock()
+}
+
+// RegisterSink sets the result fan-in channel probe.
+func (in *Instruments) RegisterSink(capacity int, depth func() int) {
+	in.mu.Lock()
+	in.sink = &Edge{Name: "sink", Capacity: capacity, Depth: depth}
+	in.mu.Unlock()
+}
+
+// RegisterWorker adds one windowed worker's watermark gauge.
+func (in *Instruments) RegisterWorker(name string) *WorkerObs {
+	w := &WorkerObs{Name: name}
+	in.mu.Lock()
+	in.workers = append(in.workers, w)
+	in.mu.Unlock()
+	return w
+}
+
+// PublishSource records the spout's progress: tuples emitted so far and
+// the maximum event time observed (the source high-water mark the
+// watermark-lag families measure against). Called every
+// SourcePublishMask+1 tuples and at stream end — never per tuple.
+func (in *Instruments) PublishSource(tuples, highWater int64) {
+	in.sourceTuples.Store(tuples)
+	in.sourceHighWater.Store(highWater)
+	in.sourceSeen.Store(true)
+}
+
+// SourceTuples returns the published source tuple count.
+func (in *Instruments) SourceTuples() int64 { return in.sourceTuples.Load() }

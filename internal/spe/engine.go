@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"spear/internal/core"
+	"spear/internal/obs"
 	"spear/internal/tuple"
 	"spear/internal/watermark"
 )
@@ -61,6 +63,12 @@ type Config struct {
 	// group→worker routing survives restarts. Required for checkpoint
 	// recovery of grouped (keyBy) topologies.
 	FieldsSeed int64
+	// Obs, when non-nil, receives live observability probes: per-edge
+	// queue-depth closures, per-worker watermark gauges, batch-occupancy
+	// records, source progress, and (if its trace ring is enabled)
+	// sampled tuple-lifecycle events. nil runs fully uninstrumented —
+	// the hot loops pay one nil check per tuple at most.
+	Obs *obs.Instruments
 }
 
 // CheckpointHooks is the engine side of the checkpoint protocol. The
@@ -260,6 +268,26 @@ func (tp *Topology) Run() error {
 	winIn := mkChans(tp.windowed.par)
 	results := make(chan []sinkItem, tp.cfg.QueueSize)
 
+	// Live observability: register pull probes over every channel the
+	// run just built. A probe is a closure over len(chan) — the engine
+	// pays nothing for it; scrapers pay one atomic load per read.
+	ins := tp.cfg.Obs
+	var trace *obs.TraceRing
+	if ins != nil {
+		trace = ins.Trace()
+		for si, s := range tp.stages {
+			for wi, c := range stageIn[si] {
+				c := c
+				ins.RegisterEdge(fmt.Sprintf("%s[%d]", s.name, wi), tp.cfg.QueueSize, func() int { return len(c) })
+			}
+		}
+		for wi, c := range winIn {
+			c := c
+			ins.RegisterEdge(fmt.Sprintf("%s[%d]", tp.windowed.name, wi), tp.cfg.QueueSize, func() int { return len(c) })
+		}
+		ins.RegisterSink(tp.cfg.QueueSize, func() int { return len(results) })
+	}
+
 	firstIn := winIn
 	if len(tp.stages) > 0 {
 		firstIn = stageIn[0]
@@ -349,6 +377,12 @@ func (tp *Topology) Run() error {
 			gen = watermark.NewGenerator(tp.cfg.WatermarkPeriod, tp.cfg.WatermarkLag)
 		}
 		seen := false
+		// srcHW tracks the max event time emitted (the high-water mark
+		// the watermark-lag probes measure against). The sentinel start
+		// keeps the update a single compare, and the whole bookkeeping
+		// lives inside the `ins != nil` branch so an uninstrumented run
+		// pays nothing.
+		srcHW := int64(math.MinInt64)
 		for {
 			// Poll for a checkpoint before fetching the next tuple so the
 			// barrier covers exactly the first offset tuples of the
@@ -380,6 +414,23 @@ func (tp *Topology) Run() error {
 			}
 			out.send(part.Route(t, len(firstIn)), Message{Tuple: t, Sender: 0})
 			offset++
+			if ins != nil {
+				// One branch per tuple in the common case: progress is
+				// published every SourcePublishMask+1 tuples, never per
+				// tuple; trace sampling only fires for every nth Ts.
+				if t.Ts > srcHW {
+					srcHW = t.Ts
+				}
+				if offset&obs.SourcePublishMask == 0 {
+					ins.PublishSource(offset, srcHW)
+				}
+				if trace != nil && trace.SampleTs(t.Ts) {
+					trace.Record(obs.TraceEvent{Kind: obs.TraceIngest, Stage: "spout", Ts: t.Ts})
+				}
+			}
+		}
+		if ins != nil && seen {
+			ins.PublishSource(offset, srcHW) // final exact progress
 		}
 		// At end of a bounded stream every tuple has been observed,
 		// so a +∞ closing watermark fires every window holding data
@@ -484,6 +535,10 @@ func (tp *Topology) Run() error {
 	}
 	for wi := 0; wi < tp.windowed.par; wi++ {
 		mgr := managers[wi]
+		var wobs *obs.WorkerObs
+		if ins != nil {
+			wobs = ins.RegisterWorker(fmt.Sprintf("%s[%d]", tp.windowed.name, wi))
+		}
 		wgWin.Add(1)
 		go func(wi int, in chan []Message, mgr core.Manager) {
 			defer wgWin.Done()
@@ -505,6 +560,17 @@ func (tp *Topology) Run() error {
 				}
 			}
 			emit := func(rs []core.Result) {
+				if trace != nil {
+					for _, r := range rs {
+						if trace.SampleWindow(r.Start) {
+							trace.Record(obs.TraceEvent{
+								Kind: obs.TraceFire, Stage: tp.windowed.name, Worker: wi,
+								Ts: r.Start, WindowEnd: r.End,
+								Mode: r.Mode.String(), Spilled: r.FetchedFromStore,
+							})
+						}
+					}
+				}
 				for _, r := range rs {
 					sinkBuf = append(sinkBuf, sinkItem{worker: wi, res: r})
 				}
@@ -519,6 +585,16 @@ func (tp *Topology) Run() error {
 			ingest := func() {
 				if len(scratch) == 0 {
 					return
+				}
+				if trace != nil {
+					for _, t := range scratch {
+						if trace.SampleTs(t.Ts) {
+							trace.Record(obs.TraceEvent{
+								Kind: obs.TraceAssign, Stage: tp.windowed.name,
+								Worker: wi, Ts: t.Ts,
+							})
+						}
+					}
 				}
 				var rs []core.Result
 				var err error
@@ -550,6 +626,10 @@ func (tp *Topology) Run() error {
 						return
 					}
 					if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
+						if wobs != nil {
+							// Once per watermark round, never per tuple.
+							wobs.SetWatermark(wm)
+						}
 						rs, err := mgr.OnWatermark(wm)
 						if err != nil {
 							failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
@@ -566,6 +646,10 @@ func (tp *Topology) Run() error {
 			}
 			for batch := range in {
 				dead = failed.get() != nil
+				if ins != nil {
+					// One lock-free histogram fold per received batch.
+					ins.Batches.Record(len(batch))
+				}
 				for _, msg := range batch {
 					if msg.IsBarrier && hooks != nil && hooks.BarrierSeen != nil {
 						if err := hooks.BarrierSeen(msg.Barrier, wi, msg.Sender); err != nil {
@@ -614,6 +698,13 @@ func (tp *Topology) Run() error {
 		for items := range results {
 			for _, item := range items {
 				tp.sink(item.worker, item.res)
+				if trace != nil && trace.SampleWindow(item.res.Start) {
+					trace.Record(obs.TraceEvent{
+						Kind: obs.TraceEmit, Stage: "sink", Worker: item.worker,
+						Ts: item.res.Start, WindowEnd: item.res.End,
+						Mode: item.res.Mode.String(),
+					})
+				}
 			}
 		}
 	}()

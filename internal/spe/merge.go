@@ -2,6 +2,7 @@ package spe
 
 import (
 	"container/heap"
+	"fmt"
 
 	"spear/internal/tuple"
 )
@@ -23,13 +24,8 @@ func MergeSpouts(spouts ...Spout) Spout {
 	case 1:
 		return spouts[0]
 	}
-	m := &mergeSpout{}
-	for i, s := range spouts {
-		if t, ok := s.Next(); ok {
-			m.heads = append(m.heads, mergeHead{t: t, src: s, idx: i})
-		}
-	}
-	heap.Init(&m.heads)
+	m := &mergeSpout{srcs: spouts}
+	m.prime()
 	return m
 }
 
@@ -54,6 +50,18 @@ func (h *mergeHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h 
 
 type mergeSpout struct {
 	heads mergeHeap
+	srcs  []Spout
+}
+
+// prime pulls one head tuple per source and heapifies.
+func (m *mergeSpout) prime() {
+	m.heads = m.heads[:0]
+	for i, s := range m.srcs {
+		if t, ok := s.Next(); ok {
+			m.heads = append(m.heads, mergeHead{t: t, src: s, idx: i})
+		}
+	}
+	heap.Init(&m.heads)
 }
 
 // Next implements Spout.
@@ -70,4 +78,36 @@ func (m *mergeSpout) Next() (tuple.Tuple, bool) {
 		heap.Pop(&m.heads)
 	}
 	return out, true
+}
+
+// SeekTo implements Seeker, enabling checkpoint recovery over a merged
+// source. The merge order is a deterministic function of the underlying
+// streams (ties break on source position), so the state at absolute
+// offset k is re-derived exactly: every source is rewound to its start,
+// the heap is rebuilt, and k tuples are drained. Cost is O(k log s) —
+// a recovery-path cost, never on the hot path.
+//
+// Every underlying source must itself be a Seeker; a merge over a non-
+// seekable source fails fast here with a clear error rather than
+// silently replaying from the wrong position.
+func (m *mergeSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("spe: seek merged spout to negative offset %d", offset)
+	}
+	for i, s := range m.srcs {
+		sk, ok := s.(Seeker)
+		if !ok {
+			return fmt.Errorf("spe: merged source %d (%T) is not seekable; checkpoint recovery over a merge requires every input to implement SeekTo", i, s)
+		}
+		if err := sk.SeekTo(0); err != nil {
+			return fmt.Errorf("spe: rewind merged source %d: %w", i, err)
+		}
+	}
+	m.prime()
+	for k := int64(0); k < offset; k++ {
+		if _, ok := m.Next(); !ok {
+			break // checkpoint may cover the whole stream
+		}
+	}
+	return nil
 }

@@ -1,0 +1,142 @@
+package spe
+
+import (
+	"strings"
+	"testing"
+
+	"spear/internal/tuple"
+)
+
+// drain pulls every remaining tuple from a spout.
+func drainTuples(s Spout) []tuple.Tuple {
+	var out []tuple.Tuple
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+func seqTuples(lo, hi, step int64) []tuple.Tuple {
+	var ts []tuple.Tuple
+	for i := lo; i < hi; i += step {
+		ts = append(ts, tuple.New(i, tuple.Int(i)))
+	}
+	return ts
+}
+
+// TestMergeSpoutSeekIdentity pins the recovery contract: SeekTo(k)
+// followed by draining must reproduce exactly the suffix a fresh merge
+// produces after k Next calls — for every k, including past-the-end.
+func TestMergeSpoutSeekIdentity(t *testing.T) {
+	mk := func() Spout {
+		return MergeSpouts(
+			NewSliceSpout(seqTuples(0, 30, 3)),
+			NewSliceSpout(seqTuples(1, 30, 3)),
+			NewSliceSpout(seqTuples(2, 30, 3)),
+		)
+	}
+	ref := drainTuples(mk())
+	if len(ref) != 30 {
+		t.Fatalf("reference drained %d tuples, want 30", len(ref))
+	}
+	for k := int64(0); k <= int64(len(ref))+2; k++ {
+		m := mk()
+		// Consume a partial prefix first so SeekTo must rewind state,
+		// not just skip forward.
+		for i := 0; i < 5 && i < int(k); i++ {
+			m.Next()
+		}
+		sk, ok := m.(Seeker)
+		if !ok {
+			t.Fatal("merged spout does not implement Seeker")
+		}
+		if err := sk.SeekTo(k); err != nil {
+			t.Fatalf("SeekTo(%d): %v", k, err)
+		}
+		got := drainTuples(m)
+		want := ref[min(int(k), len(ref)):]
+		if len(got) != len(want) {
+			t.Fatalf("SeekTo(%d): drained %d tuples, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Ts != want[i].Ts {
+				t.Fatalf("SeekTo(%d): tuple %d has Ts %d, want %d", k, i, got[i].Ts, want[i].Ts)
+			}
+		}
+	}
+}
+
+func TestMergeSpoutSeekErrors(t *testing.T) {
+	m := MergeSpouts(
+		NewSliceSpout(seqTuples(0, 4, 1)),
+		FuncSpout(func() (tuple.Tuple, bool) { return tuple.Tuple{}, false }),
+	)
+	sk := m.(Seeker)
+	err := sk.SeekTo(1)
+	if err == nil {
+		t.Fatal("SeekTo over a non-seekable source must fail fast")
+	}
+	if !strings.Contains(err.Error(), "not seekable") {
+		t.Errorf("error %q does not explain the non-seekable source", err)
+	}
+	if err := sk.SeekTo(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+// TestDisorderSpoutSeekIdentity: the shuffled emission order is a
+// deterministic function of (inner, horizon, seed), so SeekTo(k) must
+// reproduce the exact suffix of a fresh run.
+func TestDisorderSpoutSeekIdentity(t *testing.T) {
+	mk := func() *DisorderSpout {
+		return NewDisorderSpout(NewSliceSpout(seqTuples(0, 50, 1)), 7, 42)
+	}
+	ref := drainTuples(mk())
+	if len(ref) != 50 {
+		t.Fatalf("reference drained %d tuples, want 50", len(ref))
+	}
+	for k := int64(0); k <= int64(len(ref))+2; k++ {
+		d := mk()
+		for i := 0; i < 11 && i < int(k); i++ {
+			d.Next() // partial prefix: seek must rewind, not skip
+		}
+		if err := d.SeekTo(k); err != nil {
+			t.Fatalf("SeekTo(%d): %v", k, err)
+		}
+		got := drainTuples(d)
+		want := ref[min(int(k), len(ref)):]
+		if len(got) != len(want) {
+			t.Fatalf("SeekTo(%d): drained %d tuples, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Ts != want[i].Ts {
+				t.Fatalf("SeekTo(%d): tuple %d has Ts %d, want %d", k, i, got[i].Ts, want[i].Ts)
+			}
+		}
+	}
+}
+
+func TestDisorderSpoutSeekErrors(t *testing.T) {
+	d := NewDisorderSpout(FuncSpout(func() (tuple.Tuple, bool) { return tuple.Tuple{}, false }), 3, 1)
+	if err := d.SeekTo(1); err == nil {
+		t.Fatal("SeekTo over a non-seekable inner source must fail fast")
+	}
+	seekable := NewDisorderSpout(NewSliceSpout(seqTuples(0, 4, 1)), 3, 1)
+	if err := seekable.SeekTo(-2); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+// TestMergeSpoutSingleAndEmpty pins the degenerate MergeSpouts returns:
+// they must remain seekable too.
+func TestMergeSpoutSingleAndEmpty(t *testing.T) {
+	if _, ok := MergeSpouts().(Seeker); !ok {
+		t.Error("empty merge is not seekable")
+	}
+	if _, ok := MergeSpouts(NewSliceSpout(seqTuples(0, 3, 1))).(Seeker); !ok {
+		t.Error("single-source merge does not pass through the inner Seeker")
+	}
+}

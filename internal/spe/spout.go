@@ -72,6 +72,7 @@ func (f FuncSpout) Next() (tuple.Tuple, bool) { return f() }
 type DisorderSpout struct {
 	inner   Spout
 	horizon int
+	seed    int64
 	rng     *rand.Rand
 	block   []tuple.Tuple
 	pos     int
@@ -84,7 +85,7 @@ func NewDisorderSpout(inner Spout, horizon int, seed int64) *DisorderSpout {
 	if horizon < 1 {
 		panic("spe: disorder horizon must be ≥ 1")
 	}
-	return &DisorderSpout{inner: inner, horizon: horizon, rng: rand.New(rand.NewSource(seed))}
+	return &DisorderSpout{inner: inner, horizon: horizon, seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Next implements Spout.
@@ -113,4 +114,36 @@ func (d *DisorderSpout) Next() (tuple.Tuple, bool) {
 	t := d.block[d.pos]
 	d.pos++
 	return t, true
+}
+
+// SeekTo implements Seeker, enabling checkpoint recovery over a
+// disordered source. The emission order is a deterministic function of
+// (inner stream, horizon, seed): the spout rewinds the inner source to
+// its start, resets its PRNG to the recorded seed, and replays offset
+// tuples block by block, reproducing exactly the shuffle sequence of
+// the original run. Cost is O(offset) — recovery-path only.
+//
+// The inner source must itself be a Seeker; wrapping a non-seekable
+// source fails fast here with a clear error.
+func (d *DisorderSpout) SeekTo(offset int64) error {
+	if offset < 0 {
+		return fmt.Errorf("spe: seek disorder spout to negative offset %d", offset)
+	}
+	sk, ok := d.inner.(Seeker)
+	if !ok {
+		return fmt.Errorf("spe: disorder spout wraps a non-seekable source (%T); checkpoint recovery requires the inner source to implement SeekTo", d.inner)
+	}
+	if err := sk.SeekTo(0); err != nil {
+		return fmt.Errorf("spe: rewind disordered source: %w", err)
+	}
+	d.rng = rand.New(rand.NewSource(d.seed))
+	d.block = d.block[:0]
+	d.pos = 0
+	d.done = false
+	for k := int64(0); k < offset; k++ {
+		if _, ok := d.Next(); !ok {
+			break // checkpoint may cover the whole stream
+		}
+	}
+	return nil
 }

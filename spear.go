@@ -32,6 +32,7 @@ import (
 	"spear/internal/core"
 	"spear/internal/dataset"
 	"spear/internal/metrics"
+	"spear/internal/obs"
 	"spear/internal/sample"
 	"spear/internal/spe"
 	"spear/internal/storage"
@@ -186,6 +187,13 @@ type Query struct {
 	groupedEst         core.GroupedEstimator
 	registry           *metrics.Registry
 	exactBufferBytes   int
+
+	obsAddr    string
+	obsEvery   time.Duration
+	obsInto    *obs.Instruments
+	traceEvery int
+	traceCap   int
+	obsStarted func(addr string)
 }
 
 // NewQuery starts a query named name (used in telemetry and errors).
@@ -482,6 +490,85 @@ func (q *Query) EstimateGroupedWith(est core.GroupedEstimator) *Query {
 // duration and size, barrier-alignment stall, and recovery time.
 type CheckpointMetrics = metrics.CheckpointMetrics
 
+// Observability re-exports: the live observability plane's registry,
+// point-in-time snapshot, and sampled tuple-lifecycle trace event.
+type (
+	// Instruments is the live probe registry a running query publishes
+	// into; obtain one via ObserveWith for in-process inspection.
+	Instruments = obs.Instruments
+	// Snapshot is one immutable picture of a running query (queue
+	// depths, watermark lag, occupancy, spill and checkpoint traffic).
+	Snapshot = obs.Snapshot
+	// TraceEvent is one sampled lifecycle observation (ingest → assign
+	// → fire → emit).
+	TraceEvent = obs.TraceEvent
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4).
+var WritePrometheus = obs.WritePrometheus
+
+// NewInstruments returns an empty live-instrument registry to pass to
+// ObserveWith; snapshot it with its Snapshot method at any time during
+// or after the run.
+var NewInstruments = obs.NewInstruments
+
+// ObserveAddr serves live observability over HTTP at addr (host:port;
+// ":0" picks a free port — read it back via OnObserveStart) for the
+// duration of Run: Prometheus text at /metrics, the full JSON snapshot
+// at /snapshot, the sampled lifecycle trace at /trace (when TraceEvery
+// enabled it), and a liveness probe at /healthz. The server starts
+// before the first tuple flows and stops after the last result reaches
+// the sink.
+func (q *Query) ObserveAddr(addr string) *Query {
+	if addr == "" {
+		return q.errf("empty observe address")
+	}
+	q.obsAddr = addr
+	return q
+}
+
+// ObserveEvery sets the reporter's snapshot period (default 250ms).
+func (q *Query) ObserveEvery(d time.Duration) *Query {
+	if d <= 0 {
+		return q.errf("observe period %v must be positive", d)
+	}
+	q.obsEvery = d
+	return q
+}
+
+// ObserveWith attaches caller-owned instruments, for embedding: the
+// query registers its probes into ins, and the caller snapshots it
+// (ins.Snapshot) or serves it however it likes, during and after the
+// run. Implies observation even without ObserveAddr.
+func (q *Query) ObserveWith(ins *Instruments) *Query {
+	if ins == nil {
+		return q.errf("nil instruments")
+	}
+	q.obsInto = ins
+	return q
+}
+
+// TraceEvery records the lifecycle of every nth tuple (and every nth
+// window) into a bounded in-memory ring of cap events (≤ 0 selects
+// 4096), served at /trace. n = 1 traces everything — fine for tests,
+// expensive in production.
+func (q *Query) TraceEvery(n, cap int) *Query {
+	if n < 1 {
+		return q.errf("trace sampling period %d must be ≥ 1", n)
+	}
+	q.traceEvery = n
+	q.traceCap = cap
+	return q
+}
+
+// OnObserveStart registers a callback invoked with the observability
+// server's bound address once it is listening (useful with ":0").
+func (q *Query) OnObserveStart(fn func(addr string)) *Query {
+	q.obsStarted = fn
+	return q
+}
+
 // CheckpointEvery enables aligned barrier snapshots: the query's state
 // is checkpointed into its spill store (under "<name>/ckpt") every
 // tuples source tuples when tuples > 0 and/or every interval of
@@ -567,6 +654,30 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 
 	ckptEnabled := q.ckptTuples > 0 || q.ckptInterval > 0 || q.ckptRecover
 
+	// Live observability: build (or adopt) the instrument registry and
+	// attach every telemetry source the run will have.
+	observing := q.obsAddr != "" || q.obsInto != nil || q.traceEvery > 0
+	var ins *obs.Instruments
+	if observing {
+		ins = q.obsInto
+		if ins == nil {
+			ins = obs.NewInstruments()
+		}
+		ins.SetRegistry(reg)
+		ins.SetStore(store)
+		if q.traceEvery > 0 && ins.Trace() == nil {
+			ins.EnableTrace(q.traceEvery, q.traceCap)
+		}
+		if ckptEnabled && q.ckptMetrics == nil {
+			// Observing a checkpointed run needs the telemetry even if
+			// the caller did not ask for it explicitly.
+			q.ckptMetrics = &metrics.CheckpointMetrics{}
+		}
+		if q.ckptMetrics != nil {
+			ins.SetCheckpointMetrics(q.ckptMetrics)
+		}
+	}
+
 	factory := func(wi int) (core.Manager, error) {
 		cfg := core.Config{
 			Spec:               q.spec,
@@ -645,12 +756,33 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 		WatermarkLag:    int64(q.wmLag),
 		Checkpoint:      hooks,
 		FieldsSeed:      fieldsSeed,
+		Obs:             ins,
 	}).SetSpout(q.source)
 	for _, fn := range q.maps {
 		tp.AddMap(q.name+"/map", q.parallelism, fn)
 	}
 	tp.SetWindowed(q.name, q.parallelism, q.keyBy, factory)
 	tp.SetSink(func(worker int, r core.Result) { sink(worker, r) })
+
+	// Start the reporter (and the opt-in HTTP server) before the first
+	// tuple flows, so a scraper sees the full family schema from the
+	// run's first instant; stop both after the pipeline has drained
+	// (server first, then reporter — LIFO defers).
+	if ins != nil {
+		rep := obs.NewReporter(ins, q.obsEvery)
+		rep.Start()
+		defer rep.Stop()
+		if q.obsAddr != "" {
+			srv := obs.NewServer(ins, rep)
+			if err := srv.Start(q.obsAddr); err != nil {
+				return Summary{}, fmt.Errorf("spear: %s: %w", q.name, err)
+			}
+			defer srv.Stop()
+			if q.obsStarted != nil {
+				q.obsStarted(srv.Addr())
+			}
+		}
+	}
 
 	if err := tp.Run(); err != nil {
 		return Summary{}, err
