@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline
+.PHONY: check build vet lint test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill
 
 check: build vet lint race recovery obs
 
@@ -44,19 +44,31 @@ obs:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race -run 'TestObserve|TestMergedSourceCheckpointResume' .
 
-# Scrape gate: run a real query with -serve, GET /metrics mid-run, and
-# fail unless every required metric family is served (what CI runs).
+# Scrape gate: run a real query with -serve and the async spill plane
+# live (workers + prefetch + codec), GET /metrics mid-run, and fail
+# unless every required metric family — including the spear_spill_*
+# plane families — is served (what CI runs).
 obs-scrape:
-	$(GO) run ./cmd/spear-demo -dataset dec -tuples 100000 -scrapecheck
+	$(GO) run ./cmd/spear-demo -dataset dec -tuples 100000 -scrapecheck \
+		-spillworkers 2 -spillahead 2 -spillcompress 1
 
 # Short fuzz smoke for the binary codecs beyond their checked-in
-# corpora: the tuple spill codec and the checkpoint snapshot codecs
-# (manifest, sampling state, manager restore).
+# corpora: the tuple spill codec, the checkpoint snapshot codecs
+# (manifest, sampling state, manager restore), and the compressed spill
+# chunk codec.
 fuzz:
 	$(GO) test ./internal/tuple -run='^$$' -fuzz=FuzzTupleCodec -fuzztime=10s
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzManifestCodec -fuzztime=10s
 	$(GO) test ./internal/sample -run='^$$' -fuzz=FuzzSampleRestore -fuzztime=10s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzManagerRestore -fuzztime=10s
+	$(GO) test ./internal/spill -run='^$$' -fuzz=FuzzChunkCodec -fuzztime=10s
+
+# Spill plane: sync vs async (write-behind + prefetch) vs async+codec
+# across storage latency profiles (local / ssd / remote), writing
+# BENCH_spill.json (acceptance: async ≥3x sync wall-clock on the remote
+# profile, results identical — values and Mode — in every mode).
+bench-spill:
+	$(GO) run ./cmd/spear-bench -experiment spill -benchjson BENCH_spill.json
 
 # Checkpoint overhead on the default workload: off vs every-n-tuples vs
 # 1s vs 10s intervals (acceptance: <10% throughput cost at 10s).

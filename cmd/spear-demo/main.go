@@ -39,6 +39,19 @@ var requiredFamilies = []string{
 	"spear_batch_occupancy",
 	"spear_worker_windows_total",
 	"spear_spill_ops_total",
+	"spear_spill_queue_depth",
+	"spear_spill_inflight_bytes",
+	"spear_spill_async_writes_total",
+	"spear_spill_backpressure_waits_total",
+	"spear_spill_flushes_total",
+	"spear_spill_cache_hits_total",
+	"spear_spill_cache_misses_total",
+	"spear_spill_cache_evictions_total",
+	"spear_spill_cache_bytes",
+	"spear_spill_prefetch_issued_total",
+	"spear_spill_prefetch_hits_total",
+	"spear_spill_compress_raw_bytes_total",
+	"spear_spill_compress_encoded_bytes_total",
 	"spear_checkpoint_completed_total",
 }
 
@@ -53,6 +66,9 @@ func main() {
 		serve   = flag.String("serve", "", "serve live observability during the SPEAr run: Prometheus at /metrics, JSON at /snapshot, lifecycle samples at /trace (e.g. :8080)")
 		trcEvr  = flag.Int("traceevery", 0, "record the lifecycle of every nth tuple into the /trace ring (0 = off)")
 		scrape  = flag.Bool("scrapecheck", false, "self-scrape /metrics mid-run and exit non-zero unless every required metric family is served (CI gate; implies -serve :0)")
+		spillW  = flag.Int("spillworkers", 0, "async spill plane workers (0 = synchronous spilling)")
+		spillA  = flag.Int("spillahead", 0, "windows of watermark-driven spill prefetch (needs -spillworkers)")
+		spillC  = flag.Int("spillcompress", 0, "spill chunk compression level 0-9 (0 = off)")
 	)
 	flag.Parse()
 	if *scrape && *serve == "" {
@@ -61,7 +77,8 @@ func main() {
 
 	build := func(backend spear.Backend) (*spear.Query, *dataset.Stream) {
 		var ds *dataset.Stream
-		q := spear.NewQuery(*dsName).WithBackend(backend).Seed(*seed).Error(*epsilon, *conf)
+		q := spear.NewQuery(*dsName).WithBackend(backend).Seed(*seed).Error(*epsilon, *conf).
+			SpillWorkers(*spillW).SpillAhead(*spillA).SpillCompression(*spillC)
 		switch *dsName {
 		case "dec":
 			ds = dataset.DEC(dataset.DECConfig{Tuples: *tuples, Seed: *seed})

@@ -3,6 +3,7 @@ package main
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // hotLoopScope limits the check to the engine package: its worker
@@ -18,6 +19,17 @@ var hotLoopScope = []string{
 // per tuple at full stream rate.
 var hotTupleScope = []string{
 	"internal/core",
+}
+
+// spillSeamScope limits the direct-spill check to the packages that own
+// spill seams on the data path: the SPEAr managers (archive, fire
+// paths) and the window buffer managers. Code there must talk to
+// secondary storage through the async spill plane (spill.Plane), never
+// through a raw storage.SpillStore — a direct call is a synchronous
+// round-trip to S charged to the hot path.
+var spillSeamScope = []string{
+	"internal/core",
+	"internal/window",
 }
 
 // analyzerHotLoop flags per-tuple costs inside the engine's hot paths:
@@ -57,6 +69,9 @@ func runHotLoop(p *Pkg) []Finding {
 	}
 	if inScope(p, hotTupleScope...) {
 		out = append(out, runHotManagers(p)...)
+	}
+	if inScope(p, spillSeamScope...) {
+		out = append(out, runDirectSpill(p)...)
 	}
 	return out
 }
@@ -348,5 +363,155 @@ func scanMutexMetric(p *Pkg, body *ast.BlockStmt, where string) []Finding {
 		}
 		return true
 	})
+	return out
+}
+
+// runDirectSpill flags direct SpillStore.Store/Get calls reachable from
+// the manager entry points OnTuple/OnTupleBatch. The archive and window
+// buffers route every spill operation through the async spill plane
+// (spill.Plane, obtained via spill.AsPlane); a raw store call on the
+// data path reintroduces the synchronous round-trip to S the plane
+// exists to hide.
+//
+// The loader's stub importer leaves cross-package types opaque, so the
+// check is syntactic: a receiver expression is "a spill store" iff its
+// trailing name (field, parameter, or receiver) is declared somewhere
+// in the package with a type mentioning SpillStore — and never with one
+// mentioning Plane (the sanctioned seam). Names declared both ways are
+// ambiguous and stay quiet; the check is a tripwire for the obvious
+// regression, not an alias analysis. Reachability matches the spe
+// worker scan: seed bodies plus package-local call expansion.
+func runDirectSpill(p *Pkg) []Finding {
+	// Declared-type index: every struct field, parameter, and receiver
+	// name in the package, mapped to the set of its type strings.
+	typesByName := map[string]map[string]bool{}
+	record := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if f.Type == nil {
+				continue
+			}
+			ts := types.ExprString(f.Type)
+			for _, n := range f.Names {
+				m := typesByName[n.Name]
+				if m == nil {
+					m = map[string]bool{}
+					typesByName[n.Name] = m
+				}
+				m[ts] = true
+			}
+		}
+	}
+	decls := map[types.Object]*ast.FuncDecl{}
+	var seeds []*ast.FuncDecl
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				record(n.Fields)
+			case *ast.FuncDecl:
+				record(n.Recv)
+				record(n.Type.Params)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.Info != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+			if fd.Recv != nil && (fd.Name.Name == "OnTuple" || fd.Name.Name == "OnTupleBatch") {
+				seeds = append(seeds, fd)
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	isSpillName := func(name string) bool {
+		set := typesByName[name]
+		if set == nil {
+			return false
+		}
+		spill, plane := false, false
+		for ts := range set {
+			if strings.Contains(ts, "SpillStore") {
+				spill = true
+			}
+			if strings.Contains(ts, "Plane") {
+				plane = true
+			}
+		}
+		return spill && !plane
+	}
+
+	// Reachable bodies: the entry points plus one hop of package-local
+	// call resolution per body, iterated to a fixed point.
+	var work []*ast.BlockStmt
+	seen := map[*ast.BlockStmt]bool{}
+	push := func(b *ast.BlockStmt) {
+		if b != nil && !seen[b] {
+			seen[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, s := range seeds {
+		push(s.Body)
+	}
+	var out []Finding
+	for i := 0; i < len(work); i++ {
+		ast.Inspect(work[i], func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.Info != nil {
+				var id *ast.Ident
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					id = fun
+				case *ast.SelectorExpr:
+					id = fun.Sel
+				}
+				if id != nil {
+					if obj := p.Info.Uses[id]; obj != nil {
+						if d, ok := decls[obj]; ok {
+							push(d.Body)
+						}
+					}
+				}
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Store" && sel.Sel.Name != "Get") {
+				return true
+			}
+			var base string
+			switch x := sel.X.(type) {
+			case *ast.Ident:
+				base = x.Name
+			case *ast.SelectorExpr:
+				base = x.Sel.Name
+			default:
+				return true
+			}
+			if isSpillName(base) {
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(call.Pos()),
+					Check: "hotloop",
+					Msg: "direct SpillStore." + sel.Sel.Name + " call reachable from OnTuple/OnTupleBatch; " +
+						"route spill I/O through the async spill plane (spill.Plane via spill.AsPlane) so " +
+						"writes queue behind the hot path and reads can hit the chunk cache",
+				})
+			}
+			return true
+		})
+	}
 	return out
 }

@@ -164,6 +164,30 @@ func TestHotLoopCrossScope(t *testing.T) {
 	}
 }
 
+// TestSpillSeam is the direct-spill side of the hotloop analyzer: raw
+// SpillStore.Store/Get calls reachable from OnTuple/OnTupleBatch
+// (including through package-local helpers) must be flagged, while
+// Plane-routed calls, snapshot/recovery helpers, non-spill Store/Get
+// methods, and ambiguously-typed names stay quiet.
+func TestSpillSeam(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "spillseam", "internal/core")
+}
+
+// TestSpillSeamWindowScope pins that the window buffer package is in
+// scope too: same fixture, same findings, loaded as internal/window.
+func TestSpillSeamWindowScope(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "spillseam", "internal/window")
+}
+
+func TestSpillSeamOutOfScope(t *testing.T) {
+	for _, rel := range []string{"internal/spe", "internal/fixture"} {
+		pkg := loadFixture(t, filepath.Join("testdata", "src", "spillseam"), rel)
+		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
+			t.Errorf("spillseam as %s should be clean, got %d findings", rel, len(fs))
+		}
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	checkFixture(t, analyzerGlobalRand, "suppress", "internal/fixture")
 }

@@ -1,0 +1,134 @@
+// Package spillseam is a spearlint fixture mirroring the manager-side
+// spill seams: the archive and window buffers must talk to secondary
+// storage through the async spill plane (Plane), never through a raw
+// SpillStore, on any path reachable from OnTuple/OnTupleBatch. The
+// analyzer must flag direct SpillStore.Store/Get calls on those paths
+// — including through package-local helpers — and must stay quiet
+// about Plane-routed calls, snapshot-time helpers the entry points
+// never reach, non-spill types that happen to have Store/Get methods,
+// and names whose declared types are ambiguous.
+package spillseam
+
+// Tuple stands in for tuple.Tuple.
+type Tuple struct{ Ts int64 }
+
+// SpillStore stands in for storage.SpillStore.
+type SpillStore interface {
+	Store(key string, ts []Tuple) error
+	Get(key string) ([]Tuple, error)
+}
+
+// Plane stands in for spill.Plane: the sanctioned seam. Its Store
+// enqueues write-behind (the real plane hands the chunk to a worker
+// pool), so calls through it are exempt. In the real repo the plane
+// lives in another package; here its bodies stay opaque so the
+// package-local call expansion has nothing to descend into, matching
+// what the analyzer sees across the package boundary.
+type Plane struct{ queued []string }
+
+func (p *Plane) Store(key string, ts []Tuple) error {
+	p.queued = append(p.queued, key)
+	return nil
+}
+func (p *Plane) Get(key string) ([]Tuple, error) { return nil, nil }
+func (p *Plane) Barrier() error                  { return nil }
+
+// registry is NOT a spill store; its Store/Get are an in-memory map.
+// Calls on it must stay quiet even on per-tuple paths.
+type registry struct{ m map[string][]Tuple }
+
+func (r *registry) Store(key string, ts []Tuple) error { r.m[key] = ts; return nil }
+func (r *registry) Get(key string) ([]Tuple, error)    { return r.m[key], nil }
+
+// Config mirrors core.Config: the raw store arrives here and must be
+// wrapped in a Plane before the data path touches it.
+type Config struct {
+	Store SpillStore
+	Key   string
+}
+
+// holder declares dual as a SpillStore while pumpDual below declares a
+// *Plane parameter of the same name: the name is ambiguous, and the
+// check is a tripwire, not an alias analysis — ambiguous names are
+// quiet.
+type holder struct{ dual SpillStore }
+
+func pumpDual(dual *Plane) { _ = dual.Store("k", nil) }
+
+// Manager mimics core.ScalarManager.
+type Manager struct {
+	cfg  Config
+	arc  archive
+	reg  registry
+	hold holder
+}
+
+type archive struct {
+	cfg   Config
+	store *Plane
+	buf   []Tuple
+}
+
+// add is a package-local helper one hop below OnTuple: the raw-store
+// call inside it is reachable per tuple and must be flagged.
+func (a *archive) add(t Tuple) {
+	a.buf = append(a.buf, t)
+	if len(a.buf) >= 16 {
+		_ = a.cfg.Store.Store(a.cfg.Key, a.buf) // want "direct SpillStore.Store"
+		a.buf = a.buf[:0]
+	}
+}
+
+// drain takes the raw store as a parameter; called from OnTupleBatch,
+// the call inside is still a per-tuple-path violation.
+func drain(s SpillStore, key string, ts []Tuple) {
+	_ = s.Store(key, ts) // want "direct SpillStore.Store"
+}
+
+// OnTuple runs once per tuple: every spill call reachable from here
+// must go through the plane.
+func (m *Manager) OnTuple(t Tuple) {
+	_ = m.arc.store.Store(m.cfg.Key, []Tuple{t})           // Plane-typed: quiet
+	_ = m.cfg.Store.Store(m.cfg.Key, []Tuple{t})           // want "direct SpillStore.Store"
+	_ = m.reg.Store(m.cfg.Key, []Tuple{t})                 // registry, not a spill store: quiet
+	_ = m.hold.dual.Store(m.cfg.Key, []Tuple{t})           // ambiguous name: quiet
+	m.arc.add(t)                                           // helper flagged at its own site
+	if ts, err := m.arc.store.Get(m.cfg.Key); err == nil { // Plane-typed: quiet
+		_ = ts
+	}
+}
+
+// OnTupleBatch amortizes per batch, but raw-store calls anywhere in it
+// (or in helpers it reaches) are still synchronous round-trips to S on
+// the data path.
+func (m *Manager) OnTupleBatch(ts []Tuple) {
+	for _, t := range ts {
+		m.arc.add(t)
+	}
+	if ts2, err := m.cfg.Store.Get(m.cfg.Key); err == nil { // want "direct SpillStore.Get"
+		_ = ts2
+	}
+	drain(m.cfg.Store, m.cfg.Key, ts)
+	_ = m.arc.store.Barrier() // plane barrier: quiet
+}
+
+// SnapshotState is a checkpoint-time helper the entry points never
+// call: raw-store access here is synchronous by design (the manifest
+// must not commit while spills are in flight), so it stays quiet.
+func (m *Manager) SnapshotState() error {
+	if err := m.arc.store.Barrier(); err != nil {
+		return err
+	}
+	return m.cfg.Store.Store(m.cfg.Key+"/snap", m.arc.buf)
+}
+
+// rehydrate is likewise only reachable from recovery, not from the
+// entry points: quiet.
+func (m *Manager) rehydrate() error {
+	ts, err := m.cfg.Store.Get(m.cfg.Key)
+	if err != nil {
+		return err
+	}
+	m.arc.buf = ts
+	return nil
+}

@@ -47,13 +47,14 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 	"fig12":      Fig12,
 	"checkpoint": Checkpoint,
 	"pipeline":   Pipeline,
+	"spill":      Spill,
 }
 
 // ExperimentIDs returns all experiment ids in presentation order.
 func ExperimentIDs() []string {
 	return []string{"table1", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint",
-		"pipeline"}
+		"pipeline", "spill"}
 }
 
 // ---- dataset-specific query builders ----

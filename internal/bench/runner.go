@@ -25,8 +25,9 @@ type Options struct {
 	// Out receives the printed tables.
 	Out io.Writer
 	// BenchJSON, when non-empty, is a path where experiments that
-	// support machine-readable output (currently "pipeline") also write
-	// their rows as JSON.
+	// support machine-readable output (currently "pipeline" and
+	// "spill") also write their rows as JSON; when several such
+	// experiments run in one invocation the last write wins.
 	BenchJSON string
 	// ObserveAddr, when non-empty, serves the live observability plane
 	// (Prometheus /metrics, JSON /snapshot) at this address for the

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"spear"
+	"spear/internal/obs"
+	"spear/internal/storage"
+)
+
+// Spill measures the asynchronous spill I/O plane against synchronous
+// spilling on a latency-injected store, across storage profiles from an
+// in-process map to a remote-object-store stand-in. The workload is the
+// adversarial one for spilling: a sliding-window mean forced down the
+// exact path (tight ε, tiny budget, incremental disabled), so every
+// pane is archived to S on arrival and read back — several times, once
+// per overlapping window — at every fire.
+//
+// Three modes per profile:
+//
+//	sync        SpillWorkers(0): every Store/Get is a blocking
+//	            round-trip on the hot path (the pre-plane engine).
+//	async       SpillWorkers(6) + SpillAhead(2): write-behind spilling
+//	            plus watermark-driven prefetch into the chunk cache.
+//	async+codec async plus SpillCompression(1): the varint/delta/flate
+//	            chunk codec between the plane and the store, shrinking
+//	            the per-KB latency term.
+//
+// The acceptance bar is async ≥3x sync wall-clock on the "remote"
+// profile. Every mode must also produce results identical to sync —
+// values AND accelerate/exact Mode decisions — which this experiment
+// verifies window by window; the plane changes when bytes move, never
+// what they say.
+//
+// With Options.BenchJSON set the rows are also written as JSON (make
+// bench-spill checks in BENCH_spill.json at the repo root).
+func Spill(opt Options) ([]*Table, error) {
+	const (
+		tuples     = 120_000
+		slideTicks = 1000
+		rangeTicks = 8 * slideTicks
+		lagTicks   = 2 * slideTicks
+	)
+	in := make([]spear.Tuple, tuples)
+	vals := make([]spear.Value, tuples)
+	for i := range in {
+		vals[i] = spear.Float(float64((i*2654435761)&1023) / 8)
+		in[i] = spear.Tuple{Ts: int64(i), Vals: vals[i : i+1 : i+1]}
+	}
+
+	type profile struct {
+		label string
+		perOp time.Duration
+		perKB time.Duration
+	}
+	profiles := []profile{
+		{"local", 0, 0}, // in-process map: plane must not regress
+		{"ssd", 50 * time.Microsecond, 2 * time.Microsecond},      // local flash
+		{"remote", 400 * time.Microsecond, 20 * time.Microsecond}, // object store / network FS
+	}
+	type mode struct {
+		label string
+		cfg   func(q *spear.Query) *spear.Query
+	}
+	modes := []mode{
+		{"sync", func(q *spear.Query) *spear.Query { return q }},
+		{"async", func(q *spear.Query) *spear.Query {
+			return q.SpillWorkers(6).SpillAhead(2)
+		}},
+		{"async+codec", func(q *spear.Query) *spear.Query {
+			return q.SpillWorkers(6).SpillAhead(2).SpillCompression(1)
+		}},
+	}
+
+	type row struct {
+		Profile       string  `json:"profile"`
+		Mode          string  `json:"mode"`
+		WallS         float64 `json:"wall_s"`
+		TuplesPerS    float64 `json:"tuples_per_sec"`
+		SpeedupVsSync float64 `json:"speedup_vs_sync"`
+		StoreWaitMs   float64 `json:"store_wait_ms"`
+		AsyncWrites   int64   `json:"async_writes"`
+		CacheHits     int64   `json:"cache_hits"`
+		CacheMisses   int64   `json:"cache_misses"`
+		PrefetchIss   int64   `json:"prefetch_issued"`
+		PrefetchHits  int64   `json:"prefetch_hits"`
+		RawBytes      int64   `json:"compress_raw_bytes"`
+		EncodedBytes  int64   `json:"compress_encoded_bytes"`
+	}
+
+	build := func(ls *storage.LatencyStore, ins *obs.Instruments) *spear.Query {
+		return spear.NewQuery("spillbench").
+			Source(spear.FromSlice(in)).
+			SlidingWindow(time.Duration(rangeTicks), time.Duration(slideTicks)).
+			// Two slides of watermark lag (an out-of-orderness allowance)
+			// put daylight between a pane's archival and its first read,
+			// which is what lets watermark-driven prefetch warm the cache
+			// before the fire that needs it.
+			WatermarkEvery(time.Duration(slideTicks), time.Duration(lagTicks)).
+			Mean(func(t spear.Tuple) float64 { return t.Vals[0].AsFloat() }).
+			// Tight ε against a tiny budget: the estimate check fails on
+			// every window, forcing the exact fallback that reads S.
+			Error(0.002, 0.99).
+			BudgetTuples(64).
+			DisableIncremental().
+			Parallelism(1).
+			Seed(opt.Seed).
+			SpillStore(ls).
+			ObserveWith(ins)
+	}
+
+	t := &Table{
+		Title: "Spill plane: async write-behind + prefetch + codec vs synchronous spilling",
+		Header: []string{"profile", "mode", "wall(s)", "tuples/s", "speedup",
+			"store-wait(ms)", "async writes", "cache hit/miss", "prefetch iss/hit"},
+	}
+	var rows []row
+	for _, pr := range profiles {
+		var syncWall time.Duration
+		var syncRef *runOut
+		for _, md := range modes {
+			ls := storage.NewLatencyStore(storage.NewMemStore(), pr.perOp, pr.perKB, nil)
+			ins := obs.NewInstruments()
+			out, err := runQuery("spill-"+pr.label+"-"+md.label, md.cfg(build(ls, ins)))
+			if err != nil {
+				return nil, err
+			}
+			snap := ins.Snapshot(time.Now())
+
+			r := row{
+				Profile:       pr.label,
+				Mode:          md.label,
+				WallS:         out.wall.Seconds(),
+				TuplesPerS:    float64(tuples) / out.wall.Seconds(),
+				SpeedupVsSync: 1,
+				StoreWaitMs:   float64(ls.TotalDelay()) / 1e6,
+			}
+			if sp := snap.SpillPlane; sp != nil {
+				r.AsyncWrites = sp.AsyncWrites
+				r.CacheHits = sp.CacheHits
+				r.CacheMisses = sp.CacheMisses
+				r.PrefetchIss = sp.PrefetchIssued
+				r.PrefetchHits = sp.PrefetchHits
+				r.RawBytes = sp.RawBytes
+				r.EncodedBytes = sp.EncodedBytes
+			}
+			if md.label == "sync" {
+				syncWall, syncRef = out.wall, out
+			} else {
+				if out.wall > 0 {
+					r.SpeedupVsSync = float64(syncWall) / float64(out.wall)
+				}
+				// Identity gate: the plane must not change a single
+				// window's value or Mode relative to the sync run.
+				if err := sameRunResults(syncRef, out); err != nil {
+					return nil, fmt.Errorf("spill: %s/%s diverged from sync: %w", pr.label, md.label, err)
+				}
+			}
+			rows = append(rows, r)
+			t.Rows = append(t.Rows, []string{
+				pr.label, md.label,
+				fmt.Sprintf("%.3f", r.WallS),
+				fmt.Sprintf("%.0f", r.TuplesPerS),
+				fmt.Sprintf("%.2fx", r.SpeedupVsSync),
+				fmt.Sprintf("%.1f", r.StoreWaitMs),
+				fmt.Sprint(r.AsyncWrites),
+				fmt.Sprintf("%d/%d", r.CacheHits, r.CacheMisses),
+				fmt.Sprintf("%d/%d", r.PrefetchIss, r.PrefetchHits),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"acceptance: async ≥3x sync wall-clock on the remote profile; identical results (values and Mode) in every mode",
+		fmt.Sprintf("stream: %d tuples, sliding %d/%d ticks, %d lag, mean forced exact (ε=0.2%%, budget 64, incremental off)",
+			tuples, rangeTicks, slideTicks, lagTicks),
+		"store-wait is total injected store latency; async overlaps it with processing instead of serializing behind it",
+	)
+
+	if opt.BenchJSON != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string `json:"experiment"`
+			Tuples     int    `json:"tuples"`
+			Rows       []row  `json:"rows"`
+		}{"spill", tuples, rows}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opt.BenchJSON, append(blob, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("writing %s: %w", opt.BenchJSON, err)
+		}
+		t.Notes = append(t.Notes, "json written to "+opt.BenchJSON)
+	}
+	return []*Table{t}, nil
+}
+
+// sameRunResults requires b to reproduce a exactly: same result set,
+// same scalar values (bit-identical — the plane reorders I/O, not
+// arithmetic), same per-group values, same Mode per window.
+func sameRunResults(a, b *runOut) error {
+	if len(a.results) != len(b.results) {
+		return fmt.Errorf("result count %d != %d", len(b.results), len(a.results))
+	}
+	for k, ra := range a.results {
+		rb, ok := b.results[k]
+		if !ok {
+			return fmt.Errorf("worker %d window %d missing", k.worker, k.id)
+		}
+		if ra.Mode != rb.Mode {
+			return fmt.Errorf("worker %d window %d mode %v != %v", k.worker, k.id, rb.Mode, ra.Mode)
+		}
+		if math.Float64bits(ra.Scalar) != math.Float64bits(rb.Scalar) {
+			return fmt.Errorf("worker %d window %d scalar %v != %v", k.worker, k.id, rb.Scalar, ra.Scalar)
+		}
+		if len(ra.Groups) != len(rb.Groups) {
+			return fmt.Errorf("worker %d window %d group count %d != %d", k.worker, k.id, len(rb.Groups), len(ra.Groups))
+		}
+		for g, va := range ra.Groups {
+			if vb, ok := rb.Groups[g]; !ok || math.Float64bits(va) != math.Float64bits(vb) {
+				return fmt.Errorf("worker %d window %d group %q %v != %v", k.worker, k.id, g, rb.Groups[g], va)
+			}
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"spear/internal/spill"
 	"spear/internal/storage"
 	"spear/internal/tuple"
 	"spear/internal/window"
@@ -22,7 +23,13 @@ import (
 // Writes are batched in small chunks; the chunk buffer is transient
 // working memory, not window state, and is bounded by the chunk size.
 type archive struct {
-	store storage.SpillStore
+	// store is always a spill.Plane: every archive operation goes
+	// through the async spill plane, which degenerates to a synchronous
+	// passthrough when the plane is not enabled. Keeping the seam
+	// concrete (not the raw SpillStore interface) is what lets the
+	// spearlint hotloop analyzer assert that no hot path talks to
+	// secondary storage directly.
+	store *spill.Plane
 	key   string
 	spec  window.Spec
 	chunk int
@@ -62,7 +69,7 @@ type archive struct {
 
 func newArchive(store storage.SpillStore, key string, spec window.Spec, chunk int, deferDel bool) *archive {
 	return &archive{
-		store:    store,
+		store:    spill.AsPlane(store),
 		key:      key,
 		spec:     spec,
 		chunk:    chunk,
@@ -195,6 +202,29 @@ func (a *archive) fetch(start, end int64) ([]tuple.Tuple, error) {
 	return out, nil
 }
 
+// prefetch asks the spill plane to warm its cache with the already-
+// flushed panes covering [start, end), so a window whose fire time the
+// watermark is approaching finds its spilled tuples in memory instead
+// of paying a round-trip to S per pane. Pending in-memory chunks are
+// deliberately not flushed: the plane appends each later chunk to the
+// cached segment as it lands, keeping the cache coherent.
+func (a *archive) prefetch(start, end int64) {
+	if !a.store.Async() {
+		return
+	}
+	pLo := a.paneOf(start)
+	pHi := a.paneOf(end - 1)
+	var keys []string
+	for p := pLo; p <= pHi; p++ {
+		if a.flushed[p] > 0 {
+			keys = append(keys, a.paneKey(p))
+		}
+	}
+	if len(keys) > 0 {
+		a.store.Prefetch(keys...)
+	}
+}
+
 // evictBefore deletes panes wholly before position pos.
 func (a *archive) evictBefore(pos int64) error {
 	if !a.haveMin {
@@ -246,6 +276,15 @@ func (a *archive) takeDeferred() []string {
 // sorted for deterministic bytes.
 func (a *archive) appendState(dst []byte) ([]byte, error) {
 	if err := a.flushAll(); err != nil {
+		return nil, err
+	}
+	// Durability barrier: the snapshot's flushed-chunk counts promise
+	// that S holds at least that many chunks per pane, and recovery's
+	// Truncate-based rewind relies on it. With the async plane those
+	// Stores may still be queued; wait for them to land before the
+	// snapshot is acked, so the checkpoint's manifest-is-commit-point
+	// semantics extend to spilled state.
+	if err := a.store.Barrier(); err != nil {
 		return nil, err
 	}
 	dst = tuple.AppendBool(dst, a.haveMin)

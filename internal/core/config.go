@@ -98,6 +98,13 @@ type Config struct {
 	// Store; zero selects a default of 512.
 	ArchiveChunk int
 
+	// SpillAhead is the number of upcoming windows whose spilled panes
+	// are prefetched from Store on each watermark (watermark-driven
+	// read-ahead through the async spill plane). Zero disables
+	// prefetching; it is only effective when Store is an async
+	// spill.Plane.
+	SpillAhead int
+
 	// Budget, when non-nil, adapts the budget online between windows
 	// (the paper's future-work extension); BudgetTuples is then the
 	// starting value.
@@ -161,6 +168,9 @@ func (c *Config) validate() error {
 	}
 	if c.ArchiveChunk < 0 {
 		return fmt.Errorf("core: ArchiveChunk %d negative", c.ArchiveChunk)
+	}
+	if c.SpillAhead < 0 {
+		return fmt.Errorf("core: SpillAhead %d negative", c.SpillAhead)
 	}
 	return nil
 }

@@ -446,6 +446,25 @@ func (m *GroupedManager) finishMetrics(res *Result, t0 time.Time, scanShare time
 	}
 }
 
+// PrefetchWatermark implements the engine's Prefetcher hook for the
+// arrival-sampled (known groups) path: warm the spill plane's cache
+// with the panes of the next SpillAhead windows. The buffered path
+// keeps its window in memory (spilling only past the budget) and does
+// not prefetch.
+func (m *GroupedManager) PrefetchWatermark(wm int64) {
+	if m.arc == nil || m.cfg.SpillAhead <= 0 || !m.started || m.cfg.Spec.Domain == window.CountDomain {
+		return
+	}
+	first := m.cfg.Spec.FirstCompleteBy(wm) + 1
+	if first < m.nextFire {
+		first = m.nextFire
+	}
+	for id := first; id < first+window.ID(m.cfg.SpillAhead); id++ {
+		start, end := m.cfg.Spec.Bounds(id)
+		m.arc.prefetch(start, end)
+	}
+}
+
 // MemUsage implements Manager: the per-window group metadata held in
 // the budget, plus the tuple buffer (unknown groups) or transient
 // archive chunks (known groups).

@@ -96,6 +96,19 @@ type BatchManager interface {
 	OnTupleBatch(ts []tuple.Tuple) ([]Result, error)
 }
 
+// Prefetcher is the optional watermark-driven read-ahead hook on
+// Manager. After a watermark round, the engine invokes it with the
+// merged watermark; managers backed by the async spill plane use it to
+// warm the plane's chunk cache with the spilled panes of the windows
+// that will fire next, so a failed accuracy check finds the window in
+// memory instead of paying a round-trip to S per pane.
+//
+// PrefetchWatermark must be side-effect free with respect to results:
+// it may only move data, never change what any window produces.
+type Prefetcher interface {
+	PrefetchWatermark(wm int64)
+}
+
 // IngestBatch feeds ts through m: via the OnTupleBatch fast path when
 // the manager implements BatchManager, falling back to per-tuple
 // OnTuple calls otherwise. Results are concatenated in ingestion order.

@@ -331,6 +331,25 @@ func (m *ScalarManager) produce(id window.ID) (*Result, error) {
 	return &res, nil
 }
 
+// PrefetchWatermark implements the engine's Prefetcher hook: after the
+// watermark wm fired its windows, warm the spill plane's cache with the
+// panes of the next SpillAhead windows, so that if their accuracy check
+// fails the exact fallback reads from memory instead of S. Results are
+// unaffected — prefetching only moves bytes earlier.
+func (m *ScalarManager) PrefetchWatermark(wm int64) {
+	if m.cfg.SpillAhead <= 0 || !m.started || m.cfg.Spec.Domain == window.CountDomain {
+		return
+	}
+	first := m.cfg.Spec.FirstCompleteBy(wm) + 1
+	if first < m.nextFire {
+		first = m.nextFire
+	}
+	for id := first; id < first+window.ID(m.cfg.SpillAhead); id++ {
+		start, end := m.cfg.Spec.Bounds(id)
+		m.arc.prefetch(start, end)
+	}
+}
+
 // MemUsage implements Manager: the budget-resident state (samples plus
 // per-window statistics) and the transient archive chunk buffers.
 func (m *ScalarManager) MemUsage() int {

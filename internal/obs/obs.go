@@ -88,6 +88,7 @@ type Instruments struct {
 
 	reg   *metrics.Registry
 	store spillStore
+	plane spillPlane
 	ckpt  *metrics.CheckpointMetrics
 	trace *TraceRing
 

@@ -100,6 +100,10 @@ type Snapshot struct {
 	// (nil on on-demand snapshots and the first tick).
 	StorageDelta *storage.Stats `json:"storage_delta,omitempty"`
 
+	// SpillPlane is the async spill I/O plane's queue/cache/prefetch
+	// telemetry; nil when no plane is attached.
+	SpillPlane *SpillPlaneSnapshot `json:"spill_plane,omitempty"`
+
 	Checkpoint *CheckpointSnapshot `json:"checkpoint,omitempty"`
 	// CheckpointDelta holds the completed/failed/bytes movement since
 	// the previous reporter tick.
@@ -119,6 +123,7 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 	copy(workers, in.workers)
 	sink := in.sink
 	reg, store, ckpt, trace := in.reg, in.store, in.ckpt, in.trace
+	plane := in.plane
 	in.mu.Unlock()
 
 	s := &Snapshot{
@@ -190,6 +195,9 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 	if store != nil {
 		st := store.Stats()
 		s.Storage = &st
+	}
+	if plane != nil {
+		s.SpillPlane = spillPlaneSnapshot(plane)
 	}
 	if ckpt != nil {
 		s.Checkpoint = &CheckpointSnapshot{
@@ -314,6 +322,36 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		p("spear_spill_bytes_total{dir=\"fetched\"} %d\n", s.Storage.BytesFetched)
 		p("spear_spill_tuples_total{dir=\"stored\"} %d\n", s.Storage.TuplesStored)
 		p("spear_spill_tuples_total{dir=\"fetched\"} %d\n", s.Storage.TuplesFetched)
+	}
+
+	family("spear_spill_queue_depth", "Chunk writes queued in the async spill plane.", "gauge")
+	family("spear_spill_inflight_bytes", "Bytes held by queued spill writes awaiting the worker pool.", "gauge")
+	family("spear_spill_async_writes_total", "Chunk writes completed asynchronously by the spill plane.", "counter")
+	family("spear_spill_backpressure_waits_total", "Spill enqueues that blocked on the in-flight byte budget.", "counter")
+	family("spear_spill_flushes_total", "Flush/Barrier sync points the spill plane has served.", "counter")
+	family("spear_spill_cache_hits_total", "Window fetches answered from the spill chunk cache.", "counter")
+	family("spear_spill_cache_misses_total", "Window fetches that missed the spill chunk cache.", "counter")
+	family("spear_spill_cache_evictions_total", "Chunk-cache entries evicted by the LRU byte budget.", "counter")
+	family("spear_spill_cache_bytes", "Bytes resident in the spill chunk cache.", "gauge")
+	family("spear_spill_prefetch_issued_total", "Watermark-driven chunk prefetches issued.", "counter")
+	family("spear_spill_prefetch_hits_total", "Cache hits whose entry was loaded by a prefetch.", "counter")
+	family("spear_spill_compress_raw_bytes_total", "Raw tuple bytes presented to the spill chunk codec.", "counter")
+	family("spear_spill_compress_encoded_bytes_total", "Encoded bytes the spill chunk codec wrote to storage.", "counter")
+	if s.SpillPlane != nil {
+		sp := s.SpillPlane
+		p("spear_spill_queue_depth %d\n", sp.QueueDepth)
+		p("spear_spill_inflight_bytes %d\n", sp.InflightBytes)
+		p("spear_spill_async_writes_total %d\n", sp.AsyncWrites)
+		p("spear_spill_backpressure_waits_total %d\n", sp.BackpressureWaits)
+		p("spear_spill_flushes_total %d\n", sp.Flushes)
+		p("spear_spill_cache_hits_total %d\n", sp.CacheHits)
+		p("spear_spill_cache_misses_total %d\n", sp.CacheMisses)
+		p("spear_spill_cache_evictions_total %d\n", sp.CacheEvictions)
+		p("spear_spill_cache_bytes %d\n", sp.CacheBytes)
+		p("spear_spill_prefetch_issued_total %d\n", sp.PrefetchIssued)
+		p("spear_spill_prefetch_hits_total %d\n", sp.PrefetchHits)
+		p("spear_spill_compress_raw_bytes_total %d\n", sp.RawBytes)
+		p("spear_spill_compress_encoded_bytes_total %d\n", sp.EncodedBytes)
 	}
 
 	family("spear_checkpoint_completed_total", "Committed checkpoints.", "counter")

@@ -1,0 +1,64 @@
+package obs
+
+import "spear/internal/spill"
+
+// spillPlane / planeStats alias the spill package's types so only this
+// file imports it, mirroring snapshot.go's treatment of the storage
+// package: analyzers that scope heuristics by file imports see exactly
+// one obs file touching each subsystem.
+type (
+	spillPlane = *spill.Plane
+	planeStats = spill.Stats
+)
+
+// SetSpillPlane attaches the async spill I/O plane so snapshots can
+// include its queue, cache, prefetch, and codec telemetry. Safe to call
+// while a Reporter or Server is concurrently snapshotting.
+func (in *Instruments) SetSpillPlane(p spillPlane) {
+	in.mu.Lock()
+	in.plane = p
+	in.mu.Unlock()
+}
+
+// SpillPlaneSnapshot is the async spill plane's state at snapshot time:
+// write-behind queue pressure, chunk-cache effectiveness, prefetch
+// activity, and — when the compressed chunk codec is enabled — the
+// raw-vs-encoded byte movement.
+type SpillPlaneSnapshot struct {
+	Async             bool  `json:"async"`
+	QueueDepth        int64 `json:"queue_depth"`
+	InflightBytes     int64 `json:"inflight_bytes"`
+	AsyncWrites       int64 `json:"async_writes"`
+	BackpressureWaits int64 `json:"backpressure_waits"`
+	Flushes           int64 `json:"flushes"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheEvictions    int64 `json:"cache_evictions"`
+	CacheBytes        int64 `json:"cache_bytes"`
+	PrefetchIssued    int64 `json:"prefetch_issued"`
+	PrefetchHits      int64 `json:"prefetch_hits"`
+	RawBytes          int64 `json:"raw_bytes"`
+	EncodedBytes      int64 `json:"encoded_bytes"`
+}
+
+// spillPlaneSnapshot folds one plane's live stats into the snapshot
+// form. p must be non-nil.
+func spillPlaneSnapshot(p spillPlane) *SpillPlaneSnapshot {
+	st := p.PlaneStats()
+	return &SpillPlaneSnapshot{
+		Async:             p.Async(),
+		QueueDepth:        st.QueueDepth,
+		InflightBytes:     st.InflightBytes,
+		AsyncWrites:       st.AsyncWrites,
+		BackpressureWaits: st.BackpressureWaits,
+		Flushes:           st.Flushes,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		CacheEvictions:    st.CacheEvictions,
+		CacheBytes:        st.CacheBytes,
+		PrefetchIssued:    st.PrefetchIssued,
+		PrefetchHits:      st.PrefetchHits,
+		RawBytes:          st.RawBytes,
+		EncodedBytes:      st.EncodedBytes,
+	}
+}

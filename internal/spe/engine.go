@@ -551,6 +551,12 @@ func (tp *Topology) Run() error {
 			// OnTupleBatch fast path (asserted once, outside the loop);
 			// managers without one fall back to the per-tuple shim.
 			bm, hasBatch := mgr.(core.BatchManager)
+			// Watermark-driven read-ahead: managers backed by the async
+			// spill plane expose PrefetchWatermark; after each watermark
+			// round fires its windows, the hook warms the plane's cache
+			// with the panes of the windows firing next, so their exact
+			// fallbacks (if any) read memory instead of S.
+			pf, hasPrefetch := mgr.(core.Prefetcher)
 			scratch := make([]tuple.Tuple, 0, tp.cfg.BatchSize)
 			var sinkBuf []sinkItem
 			flushSink := func() {
@@ -636,6 +642,9 @@ func (tp *Topology) Run() error {
 							return
 						}
 						emit(rs)
+						if hasPrefetch {
+							pf.PrefetchWatermark(wm)
+						}
 					}
 					return
 				}

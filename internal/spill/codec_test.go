@@ -1,0 +1,204 @@
+package spill
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"spear/internal/storage"
+	"spear/internal/tuple"
+)
+
+// codecCases cover every value kind, negative deltas (out-of-order
+// timestamps), empty chunks, and payloads dense enough that flate
+// declines to compress them.
+func codecCases() map[string][]tuple.Tuple {
+	long := strings.Repeat("abcdefgh", 64)
+	return map[string][]tuple.Tuple{
+		"empty": {},
+		"one":   {tuple.New(42, tuple.Float(3.5))},
+		"kinds": {
+			tuple.New(-5, tuple.Int(-123456789), tuple.Bool(true)),
+			tuple.New(0, tuple.String_(""), tuple.Bool(false)),
+			tuple.New(7, tuple.Float(-0.25), tuple.String_("héllo\x00world")),
+		},
+		"no-vals":   {tuple.New(1), tuple.New(2), tuple.New(3)},
+		"unsorted":  {tuple.New(100), tuple.New(50), tuple.New(200), tuple.New(-7)},
+		"repetitve": mkChunk(1_000_000, 256), // compresses well
+		"longstr": {
+			tuple.New(9, tuple.String_(long)),
+			tuple.New(10, tuple.String_(long)),
+		},
+	}
+}
+
+func TestChunkCodecRoundTrip(t *testing.T) {
+	for name, ts := range codecCases() {
+		for _, level := range []int{0, 1, 6, 9} {
+			enc, err := EncodeChunk(ts, level)
+			if err != nil {
+				t.Fatalf("%s/level %d: encode: %v", name, level, err)
+			}
+			got, err := DecodeChunk(enc)
+			if err != nil {
+				t.Fatalf("%s/level %d: decode: %v", name, level, err)
+			}
+			sameTuples(t, got, ts)
+		}
+	}
+}
+
+func TestChunkCodecCompresses(t *testing.T) {
+	ts := mkChunk(0, 512)
+	raw, err := EncodeChunk(ts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := EncodeChunk(ts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(raw) {
+		t.Fatalf("level 6 (%d bytes) did not beat level 0 (%d bytes) on repetitive data",
+			len(comp), len(raw))
+	}
+}
+
+func TestChunkCodecBadLevel(t *testing.T) {
+	if _, err := EncodeChunk(nil, -1); err == nil {
+		t.Error("level -1 accepted")
+	}
+	if _, err := EncodeChunk(nil, 10); err == nil {
+		t.Error("level 10 accepted")
+	}
+	if _, err := NewCodecStore(storage.NewMemStore(), 11); err == nil {
+		t.Error("NewCodecStore accepted level 11")
+	}
+}
+
+func TestChunkCodecCorrupt(t *testing.T) {
+	good, err := EncodeChunk(mkChunk(0, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       good[:3],
+		"bad magic":   append([]byte{'X', 'C'}, good[2:]...),
+		"bad flags":   append([]byte{good[0], good[1], good[2], 0x80}, good[4:]...),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0xff),
+		"count only":  {chunkMagic0, chunkMagic1, chunkVersion, 0, 0xff},
+		"huge count":  {chunkMagic0, chunkMagic1, chunkVersion, 0, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"bad deflate": {chunkMagic0, chunkMagic1, chunkVersion, flagCompressed, 0x12, 0x34, 0x56},
+	}
+	for name, b := range cases {
+		if _, err := DecodeChunk(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeChunk([]byte{chunkMagic0, chunkMagic1, 99, 0}); err == nil ||
+		errors.Is(err, ErrChunkCorrupt) {
+		t.Errorf("unknown version should fail without claiming corruption, got %v", err)
+	}
+}
+
+func TestCodecStoreRoundTrip(t *testing.T) {
+	mem := storage.NewMemStore()
+	cs, err := NewCodecStore(mem, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := mkChunk(0, 64), mkChunk(1000, 32)
+	if err := cs.Store("k", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Store("k", c2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTuples(t, got, append(copyTuples(c1), c2...))
+
+	// One Store call = one carrier tuple = one inner chunk, so Truncate
+	// keeps its chunk-count semantics through the codec.
+	if err := cs.Truncate("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cs.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTuples(t, got, c1)
+
+	st := cs.Stats()
+	if st.TuplesStored != 96 {
+		t.Errorf("TuplesStored = %d, want logical 96", st.TuplesStored)
+	}
+	if st.TuplesFetched != 96+64 {
+		t.Errorf("TuplesFetched = %d, want logical %d", st.TuplesFetched, 96+64)
+	}
+	if cs.RawBytes() == 0 || cs.EncodedBytes() == 0 {
+		t.Error("codec byte counters not advancing")
+	}
+	if cs.EncodedBytes() >= cs.RawBytes() {
+		t.Errorf("encoding expanded: raw=%d encoded=%d", cs.RawBytes(), cs.EncodedBytes())
+	}
+
+	if err := cs.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get("k"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCodecStoreRejectsForeignSegment(t *testing.T) {
+	mem := storage.NewMemStore()
+	if err := mem.Store("k", mkChunk(0, 2)); err != nil { // not carrier-encoded
+		t.Fatal(err)
+	}
+	cs, err := NewCodecStore(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Get("k"); !errors.Is(err, tuple.ErrCorrupt) {
+		t.Fatalf("Get of un-encoded segment = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCodecStoreUnderPlane runs the full stack — async plane over codec
+// over latency-free memory — against a plain reference.
+func TestCodecStoreUnderPlane(t *testing.T) {
+	mem := storage.NewMemStore()
+	cs, err := NewCodecStore(mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newAsync(t, cs, Options{Workers: 2})
+	ref := storage.NewMemStore()
+	for i := 0; i < 10; i++ {
+		chunk := mkChunk(int64(i*100), 16)
+		if err := ref.Store("k", chunk); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Store("k", chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTuples(t, got, want)
+	st := p.PlaneStats()
+	if st.RawBytes == 0 || st.EncodedBytes == 0 {
+		t.Error("PlaneStats does not surface codec byte counters")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spear/internal/tuple"
@@ -452,12 +453,14 @@ func readUint64(b []byte) uint64 {
 // latency plus a per-byte transfer cost, modeling a remote object store.
 // Clock is injectable so unit tests do not sleep.
 type LatencyStore struct {
-	inner      SpillStore
-	perOp      time.Duration
-	perKB      time.Duration
-	sleep      func(time.Duration)
-	mu         sync.Mutex
-	totalDelay time.Duration
+	inner SpillStore
+	perOp time.Duration
+	perKB time.Duration
+	sleep func(time.Duration)
+	// totalDelay accumulates injected nanoseconds. Atomic rather than
+	// mutex-guarded: the async spill plane drives this store from a
+	// worker pool, and the accumulator must not serialize sleeps.
+	totalDelay atomic.Int64
 }
 
 // NewLatencyStore wraps inner with perOp latency per call and perKB per
@@ -471,19 +474,18 @@ func NewLatencyStore(inner SpillStore, perOp, perKB time.Duration, sleep func(ti
 
 func (l *LatencyStore) delay(bytes int64) {
 	d := l.perOp + time.Duration(bytes/1024)*l.perKB
-	l.mu.Lock()
-	l.totalDelay += d
-	l.mu.Unlock()
+	l.totalDelay.Add(int64(d))
 	if d > 0 {
 		l.sleep(d)
 	}
 }
 
-// TotalDelay reports the cumulative injected latency.
+// TotalDelay reports the cumulative injected latency. Safe for
+// concurrent use; under concurrent Store/Get the per-call byte
+// attribution (a Stats diff) is approximate, but the total only ever
+// counts bytes the inner store actually moved.
 func (l *LatencyStore) TotalDelay() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.totalDelay
+	return time.Duration(l.totalDelay.Load())
 }
 
 // Store implements SpillStore.

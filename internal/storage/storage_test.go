@@ -346,3 +346,68 @@ func TestFileStoreTornWriteInvisible(t *testing.T) {
 		t.Fatalf("Get after repair = %d tuples, err %v", len(got), err)
 	}
 }
+
+// TestMemStoreGetDoesNotAlias is a regression test for slice aliasing:
+// a caller mutating the slice returned by Get (the async spill plane's
+// cache hands fetched segments to window code that sorts and truncates
+// them) must never corrupt what a later Get observes. MemStore decodes
+// a fresh batch per Get; this pins that contract.
+func TestMemStoreGetDoesNotAlias(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Store("k", mkTuples(8, 100)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		first[i].Ts = -1
+		first[i].Vals = nil
+	}
+	second, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range second {
+		if got.Ts != 100+int64(i) || len(got.Vals) != 2 {
+			t.Fatalf("tuple %d corrupted by earlier caller mutation: %v", i, got)
+		}
+	}
+}
+
+// TestLatencyStoreConcurrent drives LatencyStore from parallel
+// goroutines the way the async spill plane's worker pool does. Run
+// under -race it checks delay/TotalDelay synchronization; the assertion
+// checks the accumulated delay covers at least every per-op charge.
+func TestLatencyStoreConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		ops     = 40
+		perOp   = time.Microsecond
+	)
+	ls := NewLatencyStore(NewMemStore(), perOp, 0, func(time.Duration) {})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w))
+			for i := 0; i < ops; i++ {
+				if err := ls.Store(key, mkTuples(4, int64(i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ls.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = ls.TotalDelay() // concurrent reader
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := ls.TotalDelay(), time.Duration(workers*ops*2)*perOp; got < want {
+		t.Errorf("TotalDelay = %v, want ≥ %v (one per-op charge per call)", got, want)
+	}
+}

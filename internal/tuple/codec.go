@@ -28,20 +28,61 @@ var ErrCorrupt = errors.New("tuple: corrupt encoding")
 func floatBits(f float64) uint64     { return math.Float64bits(f) }
 func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
 
+// AppendValue appends the binary encoding of a single value (kind byte +
+// payload) to dst and returns the extended slice. It is the per-value
+// building block shared by AppendEncode and the compressed chunk codec in
+// internal/spill.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	default:
+		dst = binary.LittleEndian.AppendUint64(dst, v.num)
+	}
+	return dst
+}
+
+// DecodeValue reads one value encoded by AppendValue from b and returns
+// it together with the number of bytes consumed.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) < 1 {
+		return Value{}, 0, ErrCorrupt
+	}
+	kind := Kind(b[0])
+	pos := 1
+	switch kind {
+	case KindInt, KindFloat, KindBool:
+		if pos+8 > len(b) {
+			return Value{}, 0, ErrCorrupt
+		}
+		return Value{kind: kind, num: binary.LittleEndian.Uint64(b[pos:])}, pos + 8, nil
+	case KindString:
+		l, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 {
+			return Value{}, 0, ErrCorrupt
+		}
+		pos += sz
+		// Compare against the remaining bytes, not pos+l: a huge declared
+		// length must not wrap uint64 addition past the bound (found by
+		// FuzzTupleCodec).
+		if l > uint64(len(b)-pos) {
+			return Value{}, 0, ErrCorrupt
+		}
+		return Value{kind: KindString, str: string(b[pos : pos+int(l)])}, pos + int(l), nil
+	default:
+		return Value{}, 0, fmt.Errorf("%w: kind byte %d", ErrCorrupt, kind)
+	}
+}
+
 // AppendEncode appends the binary encoding of t to dst and returns the
 // extended slice.
 func AppendEncode(dst []byte, t Tuple) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Ts))
 	dst = binary.AppendUvarint(dst, uint64(len(t.Vals)))
 	for _, v := range t.Vals {
-		dst = append(dst, byte(v.kind))
-		switch v.kind {
-		case KindString:
-			dst = binary.AppendUvarint(dst, uint64(len(v.str)))
-			dst = append(dst, v.str...)
-		default:
-			dst = binary.LittleEndian.AppendUint64(dst, v.num)
-		}
+		dst = AppendValue(dst, v)
 	}
 	return dst
 }
@@ -66,35 +107,12 @@ func Decode(b []byte) (Tuple, int, error) {
 		t.Vals = make([]Value, 0, n)
 	}
 	for i := uint64(0); i < n; i++ {
-		if pos >= len(b) {
-			return Tuple{}, 0, ErrCorrupt
+		v, used, err := DecodeValue(b[pos:])
+		if err != nil {
+			return Tuple{}, 0, err
 		}
-		kind := Kind(b[pos])
-		pos++
-		switch kind {
-		case KindInt, KindFloat, KindBool:
-			if pos+8 > len(b) {
-				return Tuple{}, 0, ErrCorrupt
-			}
-			t.Vals = append(t.Vals, Value{kind: kind, num: binary.LittleEndian.Uint64(b[pos:])})
-			pos += 8
-		case KindString:
-			l, sz := binary.Uvarint(b[pos:])
-			if sz <= 0 {
-				return Tuple{}, 0, ErrCorrupt
-			}
-			pos += sz
-			// Compare against the remaining bytes, not pos+l: a huge
-			// declared length must not wrap uint64 addition past the
-			// bound (found by FuzzTupleCodec).
-			if l > uint64(len(b)-pos) {
-				return Tuple{}, 0, ErrCorrupt
-			}
-			t.Vals = append(t.Vals, Value{kind: KindString, str: string(b[pos : pos+int(l)])})
-			pos += int(l)
-		default:
-			return Tuple{}, 0, fmt.Errorf("%w: kind byte %d", ErrCorrupt, kind)
-		}
+		t.Vals = append(t.Vals, v)
+		pos += used
 	}
 	return t, pos, nil
 }

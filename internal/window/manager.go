@@ -3,6 +3,7 @@ package window
 import (
 	"fmt"
 
+	"spear/internal/spill"
 	"spear/internal/storage"
 	"spear/internal/tuple"
 )
@@ -92,7 +93,12 @@ func (c Config) validate() error {
 // buffer is scanned once to collect the completed window's tuples and to
 // evict expired ones. Minimal memory per tuple, one scan per trigger.
 type SingleBuffer struct {
-	cfg      Config
+	cfg Config
+	// store is cfg.Store routed through the async spill plane (a
+	// synchronous passthrough when the plane is not enabled); all spill
+	// traffic goes through it so the hot path has exactly one spill
+	// seam. Nil iff cfg.Store is nil.
+	store    *spill.Plane
 	buf      []tuple.Tuple
 	bufBytes int
 	peak     int
@@ -113,7 +119,11 @@ func NewSingleBuffer(cfg Config) (*SingleBuffer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &SingleBuffer{cfg: cfg}, nil
+	m := &SingleBuffer{cfg: cfg}
+	if cfg.Store != nil {
+		m.store = spill.AsPlane(cfg.Store)
+	}
+	return m, nil
 }
 
 func (m *SingleBuffer) pos(t tuple.Tuple) int64 {
@@ -157,7 +167,7 @@ func (m *SingleBuffer) OnTuple(t tuple.Tuple) ([]Complete, error) {
 	sz := t.MemSize()
 	if m.cfg.BudgetBytes > 0 && m.bufBytes+sz > m.cfg.BudgetBytes {
 		// Budget exhausted: spill this tuple to S (Alg. 1 line 6).
-		if err := m.cfg.Store.Store(m.spillKey(), []tuple.Tuple{t}); err != nil {
+		if err := m.store.Store(m.spillKey(), []tuple.Tuple{t}); err != nil {
 			return nil, err
 		}
 		m.spilledCnt++
@@ -206,13 +216,13 @@ func (m *SingleBuffer) fire(wm int64) ([]Complete, error) {
 	// retrieve them").
 	fetched := false
 	if m.spilledCnt > 0 {
-		ts, err := m.cfg.Store.Get(m.spillKey())
+		ts, err := m.store.Get(m.spillKey())
 		if err != nil {
 			return nil, err
 		}
 		if m.cfg.DeferDeletes {
 			m.deferred = append(m.deferred, m.spillKey())
-		} else if err := m.cfg.Store.Delete(m.spillKey()); err != nil {
+		} else if err := m.store.Delete(m.spillKey()); err != nil {
 			return nil, err
 		}
 		m.segSeq++
@@ -281,7 +291,7 @@ func (m *SingleBuffer) fire(wm int64) ([]Complete, error) {
 			bytes -= m.buf[cut].MemSize()
 		}
 		if cut < len(m.buf) {
-			if err := m.cfg.Store.Store(m.spillKey(), m.buf[cut:]); err != nil {
+			if err := m.store.Store(m.spillKey(), m.buf[cut:]); err != nil {
 				return nil, err
 			}
 			m.spilledCnt += int64(len(m.buf) - cut)

@@ -26,6 +26,15 @@ const (
 // in-memory buffer, and the spill-segment cursor (segSeq + chunk count)
 // that RewindStore uses to put S back exactly as it was.
 func (m *SingleBuffer) SnapshotState() ([]byte, error) {
+	// Durability barrier: segChunks promises that S holds that many
+	// chunks of the current segment; with the async spill plane those
+	// Stores may still be in flight, and the checkpoint must not ack
+	// (and thus must not commit) until they land.
+	if m.store != nil {
+		if err := m.store.Barrier(); err != nil {
+			return nil, err
+		}
+	}
 	dst := []byte{snapSingleBuffer}
 	dst = tuple.AppendI64(dst, m.seq)
 	dst = tuple.AppendI64(dst, m.maxPos)
@@ -100,19 +109,19 @@ func (m *SingleBuffer) RewindStore() error {
 		return nil
 	}
 	prefix := m.cfg.Key + "#"
-	keys, err := m.cfg.Store.List(prefix)
+	keys, err := m.store.List(prefix)
 	if err != nil {
 		return err
 	}
 	cur := m.spillKey()
 	for _, k := range keys {
 		if k == cur && m.segChunks > 0 {
-			if err := m.cfg.Store.Truncate(k, m.segChunks); err != nil {
+			if err := m.store.Truncate(k, m.segChunks); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := m.cfg.Store.Delete(k); err != nil {
+		if err := m.store.Delete(k); err != nil {
 			return err
 		}
 	}

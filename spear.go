@@ -35,6 +35,7 @@ import (
 	"spear/internal/obs"
 	"spear/internal/sample"
 	"spear/internal/spe"
+	"spear/internal/spill"
 	"spear/internal/storage"
 	"spear/internal/tuple"
 	"spear/internal/window"
@@ -181,6 +182,11 @@ type Query struct {
 	ckptMetrics  *metrics.CheckpointMetrics
 
 	store              storage.SpillStore
+	spillWorkers       int
+	spillAhead         int
+	spillCompression   int
+	spillQueueBytes    int64
+	spillCacheBytes    int64
 	budgetPolicy       core.BudgetPolicy
 	disableIncremental bool
 	scalarEst          core.ScalarEstimator
@@ -464,6 +470,67 @@ func (q *Query) SpillStore(s storage.SpillStore) *Query {
 	return q
 }
 
+// SpillWorkers enables the asynchronous spill I/O plane with n
+// background writers: archive and spill Stores are queued (write-
+// behind) and serviced off the hot path, with back-pressure once the
+// in-flight byte budget fills and a durability barrier before every
+// checkpoint snapshot and window fire that reads S. n = 0 (the
+// default) keeps spilling synchronous. Results are identical either
+// way — the plane changes when bytes move, never what they say.
+func (q *Query) SpillWorkers(n int) *Query {
+	if n < 0 {
+		return q.errf("SpillWorkers %d negative", n)
+	}
+	q.spillWorkers = n
+	return q
+}
+
+// SpillAhead enables watermark-driven read-ahead: on each watermark,
+// the spilled panes of the next n windows are prefetched into the
+// spill plane's chunk cache, so an exact fallback reads memory instead
+// of paying a round-trip to S per pane. Requires SpillWorkers > 0; 0
+// (the default) disables prefetching.
+func (q *Query) SpillAhead(n int) *Query {
+	if n < 0 {
+		return q.errf("SpillAhead %d negative", n)
+	}
+	q.spillAhead = n
+	return q
+}
+
+// SpillCompression enables the compressed chunk codec between the
+// engine and the spill store: chunks are stored varint/delta-encoded
+// and DEFLATE-compressed at the given level (1 = fastest … 9 =
+// smallest). 0 (the default) stores chunks in the plain tuple
+// encoding. Compression composes with any store and with SpillWorkers;
+// with a remote store it shrinks the per-byte transfer cost.
+func (q *Query) SpillCompression(level int) *Query {
+	if level < 0 || level > 9 {
+		return q.errf("SpillCompression level %d outside [0, 9]", level)
+	}
+	q.spillCompression = level
+	return q
+}
+
+// SpillQueueBytes bounds the bytes the async spill plane may hold in
+// queued writes before Store calls block (back-pressure). Zero selects
+// the default (8 MiB). Only meaningful with SpillWorkers > 0.
+func (q *Query) SpillQueueBytes(n int64) *Query {
+	if n < 0 {
+		return q.errf("SpillQueueBytes %d negative", n)
+	}
+	q.spillQueueBytes = n
+	return q
+}
+
+// SpillCacheBytes bounds the spill plane's decoded-chunk LRU cache.
+// Zero selects the default (32 MiB); negative disables the cache. Only
+// meaningful with SpillWorkers > 0.
+func (q *Query) SpillCacheBytes(n int64) *Query {
+	q.spillCacheBytes = n
+	return q
+}
+
 // DisableIncremental forces non-holistic scalar aggregates through the
 // sample-and-estimate path (the paper's §5.5 configuration).
 func (q *Query) DisableIncremental() *Query {
@@ -647,6 +714,28 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	if store == nil {
 		store = storage.NewMemStore()
 	}
+
+	// Assemble the spill I/O plane the managers will talk to: the user's
+	// store, optionally behind the compressed chunk codec, behind the
+	// async write-behind/prefetch plane (a transparent synchronous
+	// passthrough when SpillWorkers is 0). The checkpoint coordinator
+	// deliberately keeps the raw store: its manifest write is the commit
+	// point and must stay synchronous, while spilled-state durability is
+	// enforced by the plane's barrier inside each snapshot.
+	planeInner := store
+	if q.spillCompression > 0 {
+		cs, err := spill.NewCodecStore(store, q.spillCompression)
+		if err != nil {
+			return Summary{}, fmt.Errorf("spear: %s: %w", q.name, err)
+		}
+		planeInner = cs
+	}
+	plane := spill.NewPlane(planeInner, spill.Options{
+		Workers:    q.spillWorkers,
+		QueueBytes: q.spillQueueBytes,
+		CacheBytes: q.spillCacheBytes,
+	})
+
 	reg := q.registry
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -664,7 +753,8 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 			ins = obs.NewInstruments()
 		}
 		ins.SetRegistry(reg)
-		ins.SetStore(store)
+		ins.SetStore(plane)
+		ins.SetSpillPlane(plane)
 		if q.traceEvery > 0 && ins.Trace() == nil {
 			ins.EnableTrace(q.traceEvery, q.traceCap)
 		}
@@ -689,8 +779,9 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 			Confidence:         q.confidence,
 			BudgetTuples:       q.budgetTuples,
 			KnownGroups:        q.knownGroups,
-			Store:              store,
+			Store:              plane,
 			Key:                fmt.Sprintf("%s/%s/%d", q.name, q.backend, wi),
+			SpillAhead:         q.spillAhead,
 			Seed:               sample.DeriveSeed(q.seed, int64(wi)),
 			DisableIncremental: q.disableIncremental,
 			ScalarEstimator:    q.scalarEst,
@@ -784,8 +875,15 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 		}
 	}
 
-	if err := tp.Run(); err != nil {
-		return Summary{}, err
+	runErr := tp.Run()
+	// Stop the spill plane's workers before returning (goroutine
+	// hygiene) and surface any latched async-write error: a run whose
+	// spills did not all land must not report success.
+	if cerr := plane.Close(); cerr != nil && runErr == nil {
+		runErr = fmt.Errorf("spear: %s: spill plane: %w", q.name, cerr)
+	}
+	if runErr != nil {
+		return Summary{}, runErr
 	}
 	return reg.Summarize(), nil
 }
