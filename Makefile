@@ -1,13 +1,14 @@
 # Correctness gate for the SPEAr repo. `make check` is the bar every
 # change must clear locally and in CI: compile, vet, the in-repo
-# spearlint analyzers, the full test suite under the race detector,
-# and the crash-recovery integration suite (also race-enabled).
+# spearlint analyzers (both the syntactic layer and the whole-program
+# dataflow layer), the full test suite under the race detector, and the
+# crash-recovery integration suite (also race-enabled).
 
 GO ?= go
 
-.PHONY: check build vet lint test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill
+.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill
 
-check: build vet lint race recovery obs
+check: build vet lint lint-ssa race recovery obs
 
 build:
 	$(GO) build ./...
@@ -18,10 +19,20 @@ vet:
 # spearlint is this repo's own analyzer suite (cmd/spearlint): global
 # rand usage, goroutine discipline, wall-clock use in event-time code,
 # float equality, dropped codec/spill errors, and per-tuple time.Now /
-# map allocation in the engine's worker hot loops. Exit status 1 means
-# findings; see DESIGN.md §9 for the catalogue and suppression syntax.
+# map allocation / formatting / string and slice growth in the engine's
+# hot loops. Exit status 1 means findings; see DESIGN.md §9 for the
+# catalogue and suppression syntax.
 lint:
 	$(GO) run ./cmd/spearlint ./...
+
+# The whole-program dataflow layer (cmd/spearlint -ssa): snapshot codec
+# coverage, atomic/plain access mixing, sync.Pool leak paths, and
+# blocking operations behind lock-free contracts. Loads the module as
+# one type-checked program (~seconds, not instant — hence its own
+# target). See DESIGN.md §14 for mechanics, soundness limits, and the
+# //lint:allow suppression syntax.
+lint-ssa:
+	$(GO) run ./cmd/spearlint -ssa .
 
 test:
 	$(GO) test ./...

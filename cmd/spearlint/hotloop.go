@@ -2,6 +2,7 @@ package main
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -46,6 +47,16 @@ var spillSeamScope = []string{
 //     loops of OnTupleBatch. No call expansion here, so the per-window
 //     fire paths — which legitimately observe ProcTime once per window
 //     through helpers — stay exempt.
+//   - Inside OnTupleBatch loops additionally: fmt.Sprintf/Sprint/
+//     Sprintln calls (per-tuple formatting reflects and allocates),
+//     string concatenation via + or += (each one copies both halves
+//     into a fresh allocation — a strings.Builder or reused byte slice
+//     amortizes), and append to a slice the batch body declared without
+//     capacity (`var x []T`, `x := []T{}`, `x := make([]T, 0)` — the
+//     batch loop reallocates log(n) times where make(..., 0, len(batch))
+//     would allocate once). Slices of unknown provenance — fields,
+//     parameters, aliases — stay quiet: the check is a tripwire for
+//     the local regression, not an escape analysis.
 //
 // spe reachability is intraprocedural with one hop of package-local
 // call resolution: the seed set is every goroutine literal in
@@ -58,7 +69,7 @@ var spillSeamScope = []string{
 // take locks freely.
 var analyzerHotLoop = &Analyzer{
 	Name: "hotloop",
-	Doc:  "time.Now, map allocation, or mutex-guarded metric call inside engine hot loops (per-tuple cost)",
+	Doc:  "time.Now, map/string/slice allocation churn, or mutex-guarded metric call inside engine hot loops (per-tuple cost)",
 	Run:  runHotLoop,
 }
 
@@ -316,6 +327,9 @@ func chainContains(e ast.Expr, name string) bool {
 // tuple, so its whole body is hot; OnTupleBatch amortizes per batch, so
 // only its loops are hot. No call expansion — helpers like the
 // per-window fire paths observe ProcTime once per window, legitimately.
+// OnTupleBatch loops additionally get the allocation-churn scan:
+// per-batch setup may format, concatenate, and allocate freely; the
+// per-tuple loop body may not.
 func runHotManagers(p *Pkg) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
@@ -328,13 +342,19 @@ func runHotManagers(p *Pkg) []Finding {
 			case "OnTuple":
 				out = append(out, scanMutexMetric(p, fd.Body, "the per-tuple OnTuple path")...)
 			case "OnTupleBatch":
+				growing := growingSlices(p, fd.Body)
+				fmtAlias := importAlias(f, "fmt")
+				scanLoop := func(body *ast.BlockStmt) {
+					out = append(out, scanMutexMetric(p, body, "an OnTupleBatch per-tuple loop")...)
+					out = append(out, scanBatchAllocs(p, body, fmtAlias, growing)...)
+				}
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					switch n := n.(type) {
 					case *ast.ForStmt:
-						out = append(out, scanMutexMetric(p, n.Body, "an OnTupleBatch per-tuple loop")...)
+						scanLoop(n.Body)
 						return false
 					case *ast.RangeStmt:
-						out = append(out, scanMutexMetric(p, n.Body, "an OnTupleBatch per-tuple loop")...)
+						scanLoop(n.Body)
 						return false
 					case *ast.FuncLit:
 						return false
@@ -345,6 +365,155 @@ func runHotManagers(p *Pkg) []Finding {
 		}
 	}
 	return out
+}
+
+// growingSlices collects the objects of slice variables the function
+// body declares without preallocated capacity: `var x []T`,
+// `x := []T{}`, `x := make([]T, 0)`, and `x := T(nil)` forms. Appending
+// to one of these inside the per-tuple loop reallocates as the batch
+// grows. A three-argument make, a make with nonzero length, or a seeded
+// literal counts as sized and stays quiet.
+func growingSlices(p *Pkg, body *ast.BlockStmt) map[types.Object]bool {
+	growing := map[types.Object]bool{}
+	if p.Info == nil {
+		return growing
+	}
+	mark := func(id *ast.Ident) {
+		if obj := p.Info.Defs[id]; obj != nil {
+			growing[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && growingInit(n.Rhs[i]) {
+					mark(id)
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				at, ok := vs.Type.(*ast.ArrayType)
+				if !ok || at.Len != nil {
+					continue
+				}
+				for _, id := range vs.Names {
+					mark(id)
+				}
+			}
+		}
+		return true
+	})
+	return growing
+}
+
+// growingInit reports whether an initializer expression yields a slice
+// with no preallocated capacity.
+func growingInit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		id, ok := e.Fun.(*ast.Ident)
+		if !ok || id.Name != "make" || len(e.Args) != 2 {
+			return false
+		}
+		at, ok := e.Args[0].(*ast.ArrayType)
+		if !ok || at.Len != nil {
+			return false
+		}
+		lit, ok := e.Args[1].(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	case *ast.CompositeLit:
+		at, ok := e.Type.(*ast.ArrayType)
+		return ok && at.Len == nil && len(e.Elts) == 0
+	case *ast.Ident:
+		return e.Name == "nil"
+	}
+	return false
+}
+
+// scanBatchAllocs flags per-tuple allocation churn inside one
+// OnTupleBatch loop body: fmt formatting calls, string concatenation,
+// and appends to slices declared without capacity. Nested function
+// literals are skipped (closures do not run per iteration of this
+// loop); a chain of string + operators is reported once, at its
+// outermost node.
+func scanBatchAllocs(p *Pkg, loop *ast.BlockStmt, fmtAlias string, growing map[types.Object]bool) []Finding {
+	const where = "an OnTupleBatch per-tuple loop"
+	var out []Finding
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && fmtAlias != "" {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == fmtAlias {
+					switch sel.Sel.Name {
+					case "Sprintf", "Sprint", "Sprintln":
+						out = append(out, Finding{
+							Pos:   p.Fset.Position(n.Pos()),
+							Check: "hotloop",
+							Msg:   "fmt." + sel.Sel.Name + " inside " + where + "; per-tuple formatting reflects over its arguments and allocates the result — format once per batch or append to a reused buffer",
+						})
+					}
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 && p.Info != nil {
+				if target, ok := n.Args[0].(*ast.Ident); ok {
+					if obj := p.Info.Uses[target]; obj != nil && growing[obj] {
+						out = append(out, Finding{
+							Pos:   p.Fset.Position(n.Pos()),
+							Check: "hotloop",
+							Msg:   "append to " + target.Name + " inside " + where + " but " + target.Name + " is declared without capacity; preallocate with make(..., 0, len(batch)) so the whole batch appends without reallocating",
+						})
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(p, n.Lhs[0]) {
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(n.Pos()),
+					Check: "hotloop",
+					Msg:   "string concatenation (+=) inside " + where + "; each += copies the whole string into a fresh allocation — accumulate in a strings.Builder or a reused byte slice",
+				})
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(p, n) {
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(n.Pos()),
+					Check: "hotloop",
+					Msg:   "string concatenation (+) inside " + where + "; each + copies both halves into a fresh allocation — accumulate in a strings.Builder or a reused byte slice",
+				})
+				return false // one finding per outermost + chain
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isStringExpr reports whether the (possibly partial) type info proves
+// e is a string. Unknown types answer false: the stub importer leaves
+// cross-package expressions untyped, and a tripwire must never guess.
+func isStringExpr(p *Pkg, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
 }
 
 // scanMutexMetric applies mutexMetricFinding to every call in body,

@@ -1,0 +1,291 @@
+package ssadf
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AccessKind classifies how an expression touches a struct field.
+type AccessKind int
+
+const (
+	// ReadAccess is a plain value read.
+	ReadAccess AccessKind = iota
+	// WriteAccess is a direct assignment target (x.f = v, x.f++).
+	WriteAccess
+	// DeepWriteAccess mutates state *under* the field without
+	// reassigning it: element writes (x.f[k] = v), writes through a
+	// chain (x.f.g = v), and pointer-receiver method calls on the
+	// field (x.f.Mutate()).
+	DeepWriteAccess
+	// AddrAccess takes the field's address (&x.f) — the pointer may be
+	// written through (sync/atomic calls, out-parameters).
+	AddrAccess
+)
+
+// IsWrite reports whether the access can mutate the field or the state
+// it owns.
+func (k AccessKind) IsWrite() bool { return k != ReadAccess }
+
+// Access is one classified field touch.
+type Access struct {
+	Sel   *ast.SelectorExpr
+	Field *types.Var
+	Owner *types.Named // named type of the base expression (pointers deref'd)
+	Kind  AccessKind
+}
+
+// scanAccesses walks fn's body (nested function literals included) and
+// reports every struct-field access with its kind. The walk is
+// parent-aware: assignment targets, address-of operands, and method
+// receivers get write-flavoured kinds; everything else is a read.
+func scanAccesses(fn *Fn, visit func(Access)) {
+	scanBodyAccesses(fn.Pkg, fn.Decl.Body, visit)
+}
+
+// accMode is the walker's inherited context.
+type accMode int
+
+const (
+	modeRead  accMode = iota
+	modeWrite         // outermost assignment target
+	modeChain         // interior of a write chain (deep write)
+	modeAddr          // operand of &
+)
+
+type accWalker struct {
+	pkg   *Package
+	visit func(Access)
+}
+
+func scanBodyAccesses(pkg *Package, body *ast.BlockStmt, visit func(Access)) {
+	w := &accWalker{pkg: pkg, visit: visit}
+	w.stmt(body)
+}
+
+func (w *accWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st)
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			w.expr(lhs, modeWrite)
+		}
+		for _, rhs := range s.Rhs {
+			w.expr(rhs, modeRead)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, modeWrite)
+	case *ast.ExprStmt:
+		w.expr(s.X, modeRead)
+	case *ast.SendStmt:
+		w.expr(s.Chan, modeRead)
+		w.expr(s.Value, modeRead)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond, modeRead)
+		w.stmt(s.Body)
+		w.stmt(s.Else)
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		if s.Cond != nil {
+			w.expr(s.Cond, modeRead)
+		}
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+	case *ast.RangeStmt:
+		if s.Key != nil {
+			w.expr(s.Key, modeWrite)
+		}
+		if s.Value != nil {
+			w.expr(s.Value, modeWrite)
+		}
+		w.expr(s.X, modeRead)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		if s.Tag != nil {
+			w.expr(s.Tag, modeRead)
+		}
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.stmt(s.Body)
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, modeRead)
+		}
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		for _, st := range s.Body {
+			w.stmt(st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, modeRead)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call, modeRead)
+	case *ast.GoStmt:
+		w.expr(s.Call, modeRead)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, modeRead)
+					}
+				}
+			}
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (w *accWalker) expr(e ast.Expr, mode accMode) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.Ident, *ast.BasicLit:
+	case *ast.SelectorExpr:
+		w.selector(e, mode)
+	case *ast.ParenExpr:
+		w.expr(e.X, mode)
+	case *ast.StarExpr:
+		// Writing through *p mutates the pointee: the pointer-valued
+		// chain below is a deep write.
+		if mode == modeWrite || mode == modeChain {
+			w.expr(e.X, modeChain)
+		} else {
+			w.expr(e.X, modeRead)
+		}
+	case *ast.IndexExpr:
+		if mode == modeWrite || mode == modeChain {
+			w.expr(e.X, modeChain)
+		} else {
+			w.expr(e.X, modeRead)
+		}
+		w.expr(e.Index, modeRead)
+	case *ast.IndexListExpr:
+		w.expr(e.X, modeRead)
+		for _, i := range e.Indices {
+			w.expr(i, modeRead)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, modeRead)
+		w.expr(e.Low, modeRead)
+		w.expr(e.High, modeRead)
+		w.expr(e.Max, modeRead)
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			w.expr(e.X, modeAddr)
+		} else {
+			w.expr(e.X, modeRead)
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X, modeRead)
+		w.expr(e.Y, modeRead)
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, modeRead)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, modeRead)
+		w.expr(e.Value, modeRead)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, modeRead)
+	case *ast.FuncLit:
+		w.stmt(e.Body)
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.StructType,
+		*ast.InterfaceType, *ast.FuncType, *ast.Ellipsis:
+	}
+}
+
+// call handles method receivers: a pointer-receiver method invoked on
+// a field is a deep write of that field.
+func (w *accWalker) call(c *ast.CallExpr) {
+	fun := ast.Unparen(c.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := w.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			mode := modeRead
+			if sig, ok := s.Obj().Type().(*types.Signature); ok && sig.Recv() != nil {
+				if _, isPtr := sig.Recv().Type().(*types.Pointer); isPtr {
+					mode = modeChain
+				}
+			}
+			w.expr(sel.X, mode)
+		} else {
+			w.expr(fun, modeRead)
+		}
+	} else {
+		w.expr(c.Fun, modeRead)
+	}
+	for _, a := range c.Args {
+		w.expr(a, modeRead)
+	}
+}
+
+// selector classifies one x.f access (field selections only; method
+// selections and package qualifiers are ignored) and recurses into the
+// base.
+func (w *accWalker) selector(sel *ast.SelectorExpr, mode accMode) {
+	s, ok := w.pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		// Package-qualified name or method value: base may still hold
+		// field reads (x.f.Method as a value).
+		w.expr(sel.X, modeRead)
+		return
+	}
+	field, _ := s.Obj().(*types.Var)
+	owner := baseNamed(w.pkg, sel.X)
+	kind := ReadAccess
+	switch mode {
+	case modeWrite:
+		kind = WriteAccess
+	case modeChain:
+		kind = DeepWriteAccess
+	case modeAddr:
+		kind = AddrAccess
+	}
+	if field != nil && owner != nil {
+		w.visit(Access{Sel: sel, Field: field, Owner: owner, Kind: kind})
+	}
+	// The base of any selection is traversed: reads below a write
+	// target are chain (deep) writes of the inner fields.
+	if mode == modeWrite || mode == modeChain {
+		w.expr(sel.X, modeChain)
+	} else {
+		w.expr(sel.X, modeRead)
+	}
+}
+
+// baseNamed resolves the named type of an expression, dereferencing
+// pointers. Returns nil for unnamed or unresolved types.
+func baseNamed(pkg *Package, e ast.Expr) *types.Named {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

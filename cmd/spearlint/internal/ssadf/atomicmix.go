@@ -1,0 +1,171 @@
+package ssadf
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerAtomicmix flags variables accessed both through the
+// sync/atomic function API (atomic.AddInt64(&x.f, 1)) and by plain
+// loads or stores anywhere in the program. Such a mix is a data race
+// the moment the plain access runs concurrently with the atomic one —
+// and unlike `-race`, which needs the racing schedule to actually
+// occur under test, this check is static: one plain mention anywhere
+// condemns the field.
+//
+// Scope: struct fields and package-level variables of module packages.
+// Typed atomics (atomic.Int64 and friends) are immune by construction
+// — their payload is unexported, so the checker naturally never sees a
+// plain access — which is also why the engine prefers them; this
+// analyzer polices the function-style residue where the variable
+// itself stays an ordinary integer.
+//
+// Pre-publication initialization (constructors building the struct
+// before any goroutine can see it) is the classic intentional mix:
+// composite-literal construction is exempt by design (no selector is
+// involved), and anything else carries //lint:allow atomicmix with a
+// reason.
+var AnalyzerAtomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "variable accessed both via sync/atomic and by plain load/store (static race)",
+	Run:  runAtomicmix,
+}
+
+// atomicFns are the sync/atomic function-name prefixes that take an
+// address of the guarded variable as their first argument.
+func isAtomicFnName(name string) bool {
+	for _, p := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicmix(prog *Program) []Finding {
+	idx := prog.Funcs()
+
+	modulePkgs := map[*types.Package]bool{}
+	for _, p := range prog.Pkgs {
+		if p.Types != nil {
+			modulePkgs[p.Types] = true
+		}
+	}
+
+	type site struct{ pos token.Pos }
+	atomicUses := map[*types.Var]site{}        // first atomic site per var
+	atomicArgs := map[*ast.SelectorExpr]bool{} // &x.f selectors consumed by atomic calls
+	atomicIdentArgs := map[*ast.Ident]bool{}   // &global idents consumed by atomic calls
+	plainUses := map[*types.Var]site{}         // first plain site per var
+
+	trackable := func(v *types.Var) bool {
+		return v != nil && v.Pkg() != nil && modulePkgs[v.Pkg()]
+	}
+
+	// Pass 1: find atomic call sites and the variables they guard.
+	for _, fn := range idx.All() {
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !isAtomicFnName(obj.Name()) {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			switch target := ast.Unparen(un.X).(type) {
+			case *ast.SelectorExpr:
+				if s, ok := info.Selections[target]; ok && s.Kind() == types.FieldVal {
+					if v, ok := s.Obj().(*types.Var); ok && trackable(v) {
+						if _, seen := atomicUses[v]; !seen {
+							atomicUses[v] = site{call.Pos()}
+						}
+						atomicArgs[target] = true
+					}
+				}
+			case *ast.Ident:
+				if v, ok := info.Uses[target].(*types.Var); ok && trackable(v) && isPkgLevel(v) {
+					if _, seen := atomicUses[v]; !seen {
+						atomicUses[v] = site{call.Pos()}
+					}
+					atomicIdentArgs[target] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicUses) == 0 {
+		return nil
+	}
+
+	// Pass 2: find plain accesses of the atomically-guarded variables.
+	for _, fn := range idx.All() {
+		info := fn.Pkg.Info
+		scanAccesses(fn, func(a Access) {
+			if atomicArgs[a.Sel] {
+				return
+			}
+			if _, guarded := atomicUses[a.Field]; !guarded {
+				return
+			}
+			if prev, seen := plainUses[a.Field]; !seen || a.Sel.Pos() < prev.pos {
+				plainUses[a.Field] = site{a.Sel.Pos()}
+			}
+		})
+		// Package-level variables: bare identifier mentions.
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicIdentArgs[id] {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || !isPkgLevel(v) {
+				return true
+			}
+			if _, guarded := atomicUses[v]; !guarded {
+				return true
+			}
+			if prev, seen := plainUses[v]; !seen || id.Pos() < prev.pos {
+				plainUses[v] = site{id.Pos()}
+			}
+			return true
+		})
+	}
+
+	var vars []*types.Var
+	for v := range atomicUses {
+		if _, mixed := plainUses[v]; mixed {
+			vars = append(vars, v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Pos() < vars[j].Pos() })
+
+	var out []Finding
+	for _, v := range vars {
+		out = append(out, Finding{
+			Pos:      prog.Fset.Position(v.Pos()),
+			Analyzer: "atomicmix",
+			Msg: fmt.Sprintf("%s is updated via sync/atomic (%s) but also accessed non-atomically (%s) — one plain load/store forfeits every atomic guarantee; use the atomic API everywhere or a typed atomic",
+				v.Name(), shortPos(prog.Fset, atomicUses[v].pos), shortPos(prog.Fset, plainUses[v].pos)),
+		})
+	}
+	return out
+}
+
+// isPkgLevel reports whether v is a package-level variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,431 @@
+package ssadf
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs from the AST. The
+// graph is the substrate for path-sensitive analyses (poolreturn walks
+// it to find Get→exit paths without a Put). Nodes carry ast.Node lists
+// in evaluation order: statements, plus the condition expressions of
+// if/for/switch headers, so a transfer function sees every expression
+// a path evaluates.
+//
+// Exits are explicit and typed: a ReturnExit is a normal function
+// return (including falling off the end of the body); a PanicExit is a
+// path that ends in panic or a terminating runtime call. Analyses that
+// enforce cleanup contracts usually require them on ReturnExits only —
+// a panicking path abandons its resources to the collector by design.
+
+// ExitKind classifies a CFG exit edge.
+type ExitKind int
+
+const (
+	// ReturnExit is a normal return or end-of-body fallthrough.
+	ReturnExit ExitKind = iota
+	// PanicExit ends in panic(...) or a terminating call (os.Exit,
+	// runtime.Goexit, log.Fatal*, testing t.Fatal*).
+	PanicExit
+)
+
+// Block is one basic block: a straight-line node sequence with
+// unconditional entry at the top.
+type Block struct {
+	// Nodes are statements and header expressions in evaluation order.
+	Nodes []ast.Node
+	// Succs are the control-flow successors.
+	Succs []*Block
+	// Exit marks a block whose control leaves the function; ExitTo
+	// gives the kind. A block with Exit set has no Succs.
+	Exit   bool
+	ExitTo ExitKind
+
+	index int // build order, for deterministic iteration
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// cfgBuilder carries the loop/label context while lowering the AST.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// break/continue targets, innermost last.
+	breaks    []*Block
+	continues []*Block
+	// labels maps a label name to its break/continue targets and, for
+	// forward gotos, the block the label starts.
+	labelBreak    map[string]*Block
+	labelContinue map[string]*Block
+	labelBlock    map[string]*Block
+	gotos         []pendingGoto
+
+	// pendingLabel carries a label name from LabeledStmt lowering to
+	// the next pushLoop call so `break L`/`continue L` resolve.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG lowers body into a CFG.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:           &CFG{},
+		labelBreak:    map[string]*Block{},
+		labelContinue: map[string]*Block{},
+		labelBlock:    map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is a normal return.
+	if b.cur != nil {
+		b.markExit(b.cur, ReturnExit)
+	}
+	// Resolve forward gotos: unresolved labels (shouldn't happen in
+	// compiling code) fall back to a return exit so paths terminate.
+	for _, g := range b.gotos {
+		if t := b.labelBlock[g.label]; t != nil {
+			g.from.Succs = append(g.from.Succs, t)
+		} else {
+			b.markExit(g.from, ReturnExit)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) markExit(blk *Block, kind ExitKind) {
+	if !blk.Exit && len(blk.Succs) == 0 {
+		blk.Exit = true
+		blk.ExitTo = kind
+	}
+}
+
+// link adds an edge cur→next (no-op when cur already terminated).
+func link(from, to *Block) {
+	if from != nil && !from.Exit {
+		from.Succs = append(from.Succs, to)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		if b.cur == nil {
+			// Unreachable code after a terminator: park it in a
+			// disconnected block so its nodes still exist (analyses
+			// iterate reachable blocks only).
+			b.cur = b.newBlock()
+		}
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) emit(n ast.Node) {
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		thenEnd := b.cur
+		var elseEnd *Block
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			elseEnd = b.cur
+		}
+		join := b.newBlock()
+		if s.Else == nil {
+			link(cond, join)
+		}
+		link(thenEnd, join)
+		link(elseEnd, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		link(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		post := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, after)
+		}
+		b.pushLoop(after, post, s)
+		b.cur = body
+		b.stmt(s.Body)
+		link(b.cur, post)
+		b.popLoop()
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			link(b.cur, head)
+		} else {
+			link(post, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		head.Nodes = append(head.Nodes, s.X)
+		link(b.cur, head)
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after) // empty or exhausted range
+		b.pushLoop(after, head, s)
+		b.cur = body
+		b.stmt(s.Body)
+		link(b.cur, head)
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.emit(s.Tag)
+		}
+		b.caseClauses(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.emit(s.Assign)
+		b.caseClauses(s.Body, nil)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		after := b.newBlock()
+		b.pushLoop(after, nil, s)
+		hasClause := false
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			hasClause = true
+			clause := b.newBlock()
+			link(head, clause)
+			b.cur = clause
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			link(b.cur, after)
+		}
+		if !hasClause {
+			// select{} blocks forever: model as panic-style exit.
+			b.markExit(head, PanicExit)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		lbl := b.newBlock()
+		link(b.cur, lbl)
+		b.cur = lbl
+		b.labelBlock[s.Label.Name] = lbl
+		// Pre-register loop targets so `break L` / `continue L` inside
+		// resolve; the loop lowering fills them via the label maps.
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+			b.pendingLabel = ""
+		default:
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			var t *Block
+			if s.Label != nil {
+				t = b.labelBreak[s.Label.Name]
+			} else if n := len(b.breaks); n > 0 {
+				t = b.breaks[n-1]
+			}
+			if t != nil {
+				link(b.cur, t)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			var t *Block
+			if s.Label != nil {
+				t = b.labelContinue[s.Label.Name]
+			} else {
+				for i := len(b.continues) - 1; i >= 0; i-- {
+					if b.continues[i] != nil {
+						t = b.continues[i]
+						break
+					}
+				}
+			}
+			if t != nil {
+				link(b.cur, t)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if s.Label != nil {
+				if t := b.labelBlock[s.Label.Name]; t != nil {
+					link(b.cur, t)
+				} else if b.cur != nil {
+					b.gotos = append(b.gotos, pendingGoto{b.cur, s.Label.Name})
+				}
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// handled in caseClauses via clause ordering
+		}
+
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.markExit(b.cur, ReturnExit)
+		b.cur = nil
+
+	default:
+		// Straight-line statements, including DeferStmt, GoStmt,
+		// AssignStmt, ExprStmt, SendStmt, DeclStmt, IncDecStmt, Empty.
+		b.emit(s)
+		if isTerminatingCall(s) {
+			b.markExit(b.cur, PanicExit)
+			b.cur = nil
+		}
+	}
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block, _ ast.Stmt) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		b.labelContinue[b.pendingLabel] = cont
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// caseClauses lowers switch/type-switch bodies: every clause is an
+// alternative from the header block; fallthrough chains clause bodies.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, _ *Block) {
+	head := b.cur
+	after := b.newBlock()
+	b.pushLoop(after, nil, nil)
+	type loweredClause struct {
+		start *Block
+		end   *Block
+		falls bool
+	}
+	var lowered []loweredClause
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clause := b.newBlock()
+		link(head, clause)
+		for _, e := range cc.List {
+			clause.Nodes = append(clause.Nodes, e)
+		}
+		b.cur = clause
+		falls := false
+		for _, s := range cc.Body {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			if b.cur == nil {
+				b.cur = b.newBlock()
+			}
+			b.stmt(s)
+		}
+		lowered = append(lowered, loweredClause{start: clause, end: b.cur, falls: falls})
+	}
+	for i, lc := range lowered {
+		if lc.falls && i+1 < len(lowered) {
+			link(lc.end, lowered[i+1].start)
+		} else {
+			link(lc.end, after)
+		}
+	}
+	if !hasDefault {
+		link(head, after)
+	}
+	b.popLoop()
+	b.cur = after
+}
+
+// isTerminatingCall reports whether s is a statement that never
+// returns: panic(...), os.Exit, runtime.Goexit, log.Fatal*.
+func isTerminatingCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

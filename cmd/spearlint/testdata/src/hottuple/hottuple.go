@@ -7,7 +7,10 @@
 // methods.
 package hottuple
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Tuple stands in for tuple.Tuple.
 type Tuple struct{ Ts int64 }
@@ -109,4 +112,57 @@ func (g *grouped) OnTuple(t Tuple) {
 func (g *grouped) onTuple(t Tuple) {
 	g.mu.Lock()
 	g.mu.Unlock()
+}
+
+// Keyed carries a locally-typed string so the concatenation check has
+// full type information (the stub importer leaves fmt results untyped).
+type Keyed struct {
+	Ts  int64
+	Key string
+}
+
+// batcher exercises the allocation-churn checks: formatting, string
+// concatenation, and unsized appends are per-tuple garbage inside the
+// batch loops; sized appends and per-batch work stay quiet.
+type batcher struct {
+	keys  []string
+	label string
+}
+
+func (b *batcher) OnTupleBatch(ts []Keyed) {
+	// Per-batch setup: sized and unsized allocation, formatting, and
+	// concatenation are all fine outside the loops — once per batch is
+	// the amortization the engine is built around.
+	sized := make([]int64, 0, len(ts))
+	var lazy []int64
+	grown := make([]string, 0)
+	empty := []string{}
+	seeded := []string{"batch"}
+	b.label = fmt.Sprintf("batch-%d", len(ts))
+	header := b.label + ":"
+
+	for _, t := range ts {
+		sized = append(sized, t.Ts)      // sized: quiet
+		lazy = append(lazy, t.Ts)        // want "append to lazy"
+		grown = append(grown, t.Key)     // want "append to grown"
+		empty = append(empty, t.Key)     // want "append to empty"
+		seeded = append(seeded, t.Key)   // seeded literal: quiet
+		b.keys = append(b.keys, t.Key)   // field, unknown capacity: quiet
+		s := fmt.Sprintf("k-%d", t.Ts)   // want "fmt.Sprintf inside"
+		_ = fmt.Sprint(t.Ts)             // want "fmt.Sprint inside"
+		key := header + t.Key + "suffix" // want "string concatenation (+)"
+		key += t.Key                     // want "string concatenation (+=)"
+		_, _ = s, key
+		mk := func() string { return t.Key + "closure" } // closure: quiet
+		_ = mk
+	}
+
+	for i := 0; i < len(ts); i++ {
+		lazy = append(lazy, ts[i].Ts) // want "append to lazy"
+	}
+
+	// Post-loop teardown: per-batch again, quiet.
+	b.label = header + "done"
+	_ = fmt.Sprintf("%d", len(lazy))
+	_ = append(grown, "tail")
 }

@@ -1,0 +1,30 @@
+// Package stats is the atomicmix positive fixture: one struct field
+// and one package-level variable each see both sync/atomic and plain
+// access.
+package stats
+
+import "sync/atomic"
+
+// Stats mixes access disciplines on hits; misses stays atomic-only.
+type Stats struct {
+	hits   int64 // want "hits is updated via sync/atomic"
+	misses int64
+}
+
+var total int64 // want "total is updated via sync/atomic"
+
+// Touch is the atomic side.
+func (s *Stats) Touch() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.misses, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+// Hits is the racy plain read that condemns hits.
+func (s *Stats) Hits() int64 { return s.hits }
+
+// Misses reads atomically — no mix.
+func (s *Stats) Misses() int64 { return atomic.LoadInt64(&s.misses) }
+
+// Snapshot is the racy plain read that condemns total.
+func Snapshot() int64 { return total }

@@ -1,0 +1,39 @@
+// Package stats is the atomicmix negative fixture: typed atomics,
+// atomic-only access, composite-literal construction, plain-only
+// variables, and an audited exemption.
+package stats
+
+import "sync/atomic"
+
+// Clean never mixes disciplines.
+type Clean struct {
+	// typed atomic: the payload is unexported, a plain access cannot
+	// exist.
+	n atomic.Int64
+	// atomic-only via the function API.
+	m int64
+	// audited pre-publication mix.
+	seeded int64 //lint:allow atomicmix written once in New before any goroutine can observe the struct
+	// plain-only: no atomic use, nothing to mix with.
+	plain int64
+}
+
+// New builds the struct before publication; composite-literal field
+// initialization involves no selector and is exempt by design.
+func New(seed int64) *Clean {
+	c := &Clean{plain: 1}
+	c.seeded = seed
+	return c
+}
+
+// Bump is the atomic side.
+func (c *Clean) Bump() {
+	c.n.Add(1)
+	atomic.AddInt64(&c.m, 1)
+	atomic.AddInt64(&c.seeded, 0)
+}
+
+// Read stays on the atomic API for every guarded variable.
+func (c *Clean) Read() int64 {
+	return c.n.Load() + atomic.LoadInt64(&c.m) + c.plain
+}

@@ -1,0 +1,56 @@
+// Package obsx is the blockfree positive fixture: every way the
+// lock-free contract can be declared (type doc, function doc, probe
+// closure) paired with a blocking operation that betrays it.
+package obsx
+
+import (
+	"sync"
+
+	"fixture.example/blockfree/internal/storage"
+)
+
+// MutexGauge claims to be a lock-free instrument in its type doc — so
+// every method inherits the contract — yet Set takes a mutex.
+type MutexGauge struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Set stores the value.
+func (g *MutexGauge) Set(v int64) {
+	g.mu.Lock() // want "inside lock-free entry (*obsx.MutexGauge).Set"
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Record is lock-free by contract but reaches a channel send through a
+// helper two hops down.
+func Record(ch chan int64, v int64) {
+	forward(ch, v)
+}
+
+func forward(ch chan int64, v int64) {
+	ch <- v // want "channel send reachable from lock-free entry obsx.Record via obsx.forward"
+}
+
+// Fetch is lock-free by contract yet calls through the spill store,
+// which is disk I/O by definition.
+func Fetch(st storage.SpillStore) int {
+	b, _ := st.Get("k") // want "SpillStore.Get call"
+	return len(b)
+}
+
+// Instruments mimics the engine's registry: probe closures handed to
+// RegisterSink run on the scrape path and inherit the contract.
+type Instruments struct{ sink func() int }
+
+// RegisterSink records the sink depth probe.
+func (in *Instruments) RegisterSink(capacity int, depth func() int) { in.sink = depth }
+
+func wire(in *Instruments, mu *sync.Mutex) {
+	in.RegisterSink(4, func() int {
+		mu.Lock() // want "inside lock-free entry probe RegisterSink"
+		defer mu.Unlock()
+		return 0
+	})
+}

@@ -1,0 +1,8 @@
+// Package storage declares the spill contract the blockfree analyzer
+// treats as I/O by definition.
+package storage
+
+// SpillStore is secondary storage S.
+type SpillStore interface {
+	Get(key string) ([]byte, error)
+}

@@ -1,0 +1,43 @@
+// Package bufpool is the poolreturn positive fixture: pooled buffers
+// obtained directly from sync.Pool and through module wrappers, each
+// with one early-return path that neither Puts nor escapes.
+package bufpool
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return make([]byte, 0, 1024) }}
+
+var errEmpty = errors.New("empty input")
+
+// Encode leaks the pooled buffer on the empty-input path: the early
+// return drops b without a Put.
+func Encode(data []byte) ([]byte, error) {
+	b := pool.Get().([]byte) // want "can reach a return without Put or escape"
+	if len(data) == 0 {
+		return nil, errEmpty
+	}
+	b = append(b[:0], data...)
+	out := make([]byte, len(b))
+	copy(out, b)
+	pool.Put(b)
+	return out, nil
+}
+
+// get and put are first-order module wrappers (the engine's batchPool
+// shape); the analyzer treats them as Get/Put.
+func get() []byte  { return pool.Get().([]byte) }
+func put(b []byte) { pool.Put(b[:0]) }
+
+// Sum leaks through the wrappers: the n < 0 path returns before the
+// deferred put is registered.
+func Sum(n int) int {
+	b := get() // want "can reach a return without Put or escape"
+	if n < 0 {
+		return -1
+	}
+	defer put(b)
+	return len(b) + n
+}

@@ -1,0 +1,84 @@
+// Package bufpool is the poolreturn negative fixture: every pooled
+// value is released or changes owner on every normal-return path.
+package bufpool
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return make([]byte, 0, 1024) }}
+
+func get() []byte  { return pool.Get().([]byte) }
+func put(b []byte) { pool.Put(b[:0]) }
+
+// DeferRelease covers every path with one deferred put.
+func DeferRelease(data []byte) int {
+	b := get()
+	defer put(b)
+	if len(data) == 0 {
+		return 0
+	}
+	b = append(b[:0], data...)
+	return len(b)
+}
+
+// AllPaths puts explicitly on each branch (wrapper and direct).
+func AllPaths(flag bool) int {
+	b := get()
+	if flag {
+		put(b)
+		return 1
+	}
+	pool.Put(b)
+	return 0
+}
+
+// Escapes transfers ownership to the caller.
+func Escapes() []byte {
+	b := get()
+	b = append(b, 1)
+	return b
+}
+
+// holder keeps the buffer alive past the function — a store is a
+// change of owner, not a leak.
+type holder struct{ buf []byte }
+
+// Fill stores the buffer in a field.
+func (h *holder) Fill() {
+	b := get()
+	h.buf = b
+}
+
+// SendAway ships ownership over a channel.
+func SendAway(ch chan []byte) {
+	b := get()
+	ch <- b
+}
+
+// PanicPath abandons the buffer only when panicking — panic exits are
+// exempt by design.
+func PanicPath(ok bool) int {
+	b := get()
+	if !ok {
+		panic("bad input")
+	}
+	defer put(b)
+	return len(b)
+}
+
+// LoopReuse gets and puts inside one loop iteration.
+func LoopReuse(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		b := get()
+		total += len(b)
+		put(b)
+	}
+	return total
+}
+
+// DeferClosure releases through a deferred closure.
+func DeferClosure() int {
+	b := get()
+	defer func() { put(b) }()
+	return cap(b)
+}

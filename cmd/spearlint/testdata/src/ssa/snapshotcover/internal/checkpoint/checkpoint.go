@@ -1,0 +1,9 @@
+// Package checkpoint mirrors the engine's checkpoint contract so the
+// snapshotcover fixture type-checks against the real interface shape.
+package checkpoint
+
+// Snapshotter is the state-codec contract (same shape as the engine's).
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(b []byte) error
+}

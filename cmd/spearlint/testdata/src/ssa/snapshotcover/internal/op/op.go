@@ -1,0 +1,58 @@
+// Package op is the snapshotcover positive fixture: an operator whose
+// checkpoint codec misses tuple-path state in every way the analyzer
+// distinguishes — a field absent from both codec halves, a field the
+// restore half covers but the snapshot half drops, and an intentional
+// exemption carrying an allow directive.
+package op
+
+import "fixture.example/snapshotcover/internal/checkpoint"
+
+var _ checkpoint.Snapshotter = (*Counter)(nil)
+
+// Counter implements Snapshotter with deliberate coverage holes.
+type Counter struct {
+	total   int64
+	dropped int64           // want "never read by (*Counter).SnapshotState" "never written by (*Counter).RestoreState"
+	memo    map[int64]int64 // want "never read by (*Counter).SnapshotState"
+	cache   int64           //lint:allow snapshotcover derived cache; rebuilt on demand after restore
+}
+
+// OnTuple mutates state directly, through a helper (call-graph edge),
+// and on a spawned goroutine (followed: a write is a write regardless
+// of which goroutine performs it).
+func (c *Counter) OnTuple(v int64) {
+	c.bump(v)
+	c.dropped++
+	go func() { c.memo[v]++ }()
+	c.cache = v
+}
+
+func (c *Counter) bump(v int64) { c.total += v }
+
+// SnapshotState covers total only.
+func (c *Counter) SnapshotState() ([]byte, error) {
+	return appendI64(nil, c.total), nil
+}
+
+// RestoreState covers total and resets memo, but never touches dropped
+// or cache.
+func (c *Counter) RestoreState(b []byte) error {
+	c.total = readI64(b)
+	c.memo = make(map[int64]int64)
+	return nil
+}
+
+func appendI64(dst []byte, v int64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+func readI64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

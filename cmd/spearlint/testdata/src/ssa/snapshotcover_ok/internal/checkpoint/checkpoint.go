@@ -1,0 +1,9 @@
+// Package checkpoint mirrors the engine's checkpoint contract for the
+// snapshotcover negative fixture.
+package checkpoint
+
+// Snapshotter is the state-codec contract (same shape as the engine's).
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState(b []byte) error
+}

@@ -1,0 +1,63 @@
+// Package op is the snapshotcover negative fixture: every tuple-path
+// mutation is covered by the codec, configuration writes happen off the
+// tuple path, and a mutable type that is not a Snapshotter is nobody's
+// business.
+package op
+
+import "fixture.example/snapshotcover_ok/internal/checkpoint"
+
+var _ checkpoint.Snapshotter = (*Counter)(nil)
+
+// Counter implements Snapshotter with full coverage.
+type Counter struct {
+	total   int64
+	dropped int64
+	limit   int64 // written in Configure only — not tuple-path state
+}
+
+// OnTupleBatch exercises the batch entry point.
+func (c *Counter) OnTupleBatch(vs []int64) {
+	for _, v := range vs {
+		c.total += v
+		if v < 0 {
+			c.dropped++
+		}
+	}
+}
+
+// Configure is not reachable from OnTuple/OnTupleBatch.
+func (c *Counter) Configure(limit int64) { c.limit = limit }
+
+// SnapshotState covers every tuple-path field.
+func (c *Counter) SnapshotState() ([]byte, error) {
+	dst := appendI64(nil, c.total)
+	return appendI64(dst, c.dropped), nil
+}
+
+// RestoreState writes every tuple-path field.
+func (c *Counter) RestoreState(b []byte) error {
+	c.total = readI64(b)
+	c.dropped = readI64(b[8:])
+	return nil
+}
+
+// Scratch mutates per tuple but implements nothing — out of contract.
+type Scratch struct{ n int64 }
+
+// OnTuple mutates freely; Scratch is not a Snapshotter.
+func (s *Scratch) OnTuple(v int64) { s.n += v }
+
+func appendI64(dst []byte, v int64) []byte {
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(v>>(8*i)))
+	}
+	return dst
+}
+
+func readI64(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		v |= int64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,3 +1,17 @@
+// Zero external dependencies by policy: everything — engine, codecs,
+// observability, and both spearlint analysis layers — builds from the
+// standard library alone.
+//
+// spearlint's dataflow layer (cmd/spearlint/internal/ssadf) would
+// normally sit on golang.org/x/tools (go/packages for loading, go/ssa
+// for the IR). The build environment has no module proxy access, so
+// the repo carries a small stdlib-only substrate instead: a module
+// loader over go/parser + go/types with the compiler's source importer
+// for std imports, an AST-level CFG, and a CHA call graph. If proxy
+// access becomes available, pin golang.org/x/tools here (any recent
+// v0.2x release) and port the ssadf analyzers onto go/ssa — the
+// analyzer logic is deliberately separated from the substrate so only
+// load.go/cfg.go/callgraph.go need to change.
 module spear
 
 go 1.22

@@ -14,6 +14,9 @@ import (
 // window. It shares the Result accounting with the SPEAr managers so
 // comparisons use identical instrumentation.
 type ExactManager struct {
+	// Only telemetry counters hanging off cfg mutate on the tuple path;
+	// metrics are intentionally outside the checkpoint domain.
+	//lint:allow snapshotcover config handle; only telemetry under it mutates
 	cfg Config
 	buf *window.SingleBuffer
 	now func() time.Time
@@ -120,6 +123,7 @@ func (m *ExactManager) MemUsage() int { return m.buf.MemUsage() }
 // holistic and grouped operations, exactly the limitation the paper
 // ascribes to incremental techniques (fails R4).
 type IncrementalManager struct {
+	//lint:allow snapshotcover config handle; only telemetry under it mutates
 	cfg Config
 
 	wins     map[window.ID]*agg.Incremental

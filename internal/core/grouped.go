@@ -33,6 +33,7 @@ import (
 // no scan ("no scans of S_w are needed and SPEAr produces R̂_w at a
 // minimal cost"), and a failed check fetches the window back from S.
 type GroupedManager struct {
+	//lint:allow snapshotcover config handle; only telemetry under it mutates
 	cfg Config
 	est GroupedEstimator
 
@@ -134,6 +135,7 @@ func (m *GroupedManager) OnTupleBatch(ts []tuple.Tuple) ([]Result, error) {
 	for i := range ts {
 		rs, err := m.ingest(ts[i])
 		if len(rs) > 0 {
+			//lint:ignore hotloop results are per-window fires, not per-tuple; out stays nil on most batches and preallocating len(batch) would allocate every batch
 			out = append(out, rs...)
 		}
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 // moments; every tuple is archived to secondary storage S for the exact
 // fallback. At watermark arrival it runs the accuracy check of Alg. 2.
 type ScalarManager struct {
+	//lint:allow snapshotcover config handle; only telemetry under it mutates
 	cfg Config
 	est ScalarEstimator
 	arc *archive
@@ -27,8 +28,10 @@ type ScalarManager struct {
 	// tuples overwhelmingly hit the same window(s), so the per-tuple
 	// map access in ingest collapses to a comparison. Invalidated
 	// whenever wins entries are deleted or the map is replaced.
-	lastID    window.ID
-	lastWin   *scalarWin
+	// Not serialized: a memo cache is rebuilt on demand, and RestoreState
+	// resets both halves (covered by the directive on each line).
+	lastID    window.ID  //lint:allow snapshotcover memo cache; rebuilt on demand, reset by RestoreState
+	lastWin   *scalarWin //lint:allow snapshotcover memo cache; rebuilt on demand, reset by RestoreState
 	started   bool
 	nextFire  window.ID
 	seq       int64
@@ -113,6 +116,7 @@ func (m *ScalarManager) OnTupleBatch(ts []tuple.Tuple) ([]Result, error) {
 	for i := range ts {
 		rs, ok, err := m.ingest(ts[i])
 		if len(rs) > 0 {
+			//lint:ignore hotloop results are per-window fires, not per-tuple; out stays nil on most batches and preallocating len(batch) would allocate every batch
 			out = append(out, rs...)
 		}
 		if err != nil {

@@ -127,7 +127,10 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 	m.curBudget = int(curBudget)
 	m.arc = arc
 	m.wins = wins
-	m.lastWin = nil // the memoized window belongs to the replaced map
+	// The memoized window belongs to the replaced map; both halves of
+	// the memo reset together so the invariant (lastWin nil ⇒ lastID
+	// meaningless) never depends on the nil check alone.
+	m.lastID, m.lastWin = 0, nil
 	return nil
 }
 

@@ -98,8 +98,10 @@ type SingleBuffer struct {
 	// synchronous passthrough when the plane is not enabled); all spill
 	// traffic goes through it so the hot path has exactly one spill
 	// seam. Nil iff cfg.Store is nil.
-	store    *spill.Plane
-	buf      []tuple.Tuple
+	//lint:allow snapshotcover injected I/O handle; spilled contents are reconciled by RewindStore
+	store *spill.Plane
+	buf   []tuple.Tuple
+	//lint:allow snapshotcover derived from buf; recomputed by RestoreState
 	bufBytes int
 	peak     int
 
@@ -111,7 +113,8 @@ type SingleBuffer struct {
 	spilledCnt int64
 	segSeq     int // distinguishes successive spill generations
 	segChunks  int // Store calls issued against the current segment
-	deferred   []string
+	//lint:allow snapshotcover deferred deletes are reconciled by RewindStore, cleared on restore
+	deferred []string
 }
 
 // NewSingleBuffer returns a single-buffer manager for cfg.
@@ -323,9 +326,11 @@ func (m *SingleBuffer) Spilled() int64 { return m.spilledCnt }
 // are ready without a scan at trigger time, at the cost of Overlap()
 // copies of every tuple.
 type MultiBuffer struct {
-	cfg      Config
-	bufs     map[ID][]tuple.Tuple
-	bytes    map[ID]int
+	cfg  Config
+	bufs map[ID][]tuple.Tuple
+	//lint:allow snapshotcover derived from bufs; recomputed by RestoreState
+	bytes map[ID]int
+	//lint:allow snapshotcover derived from bufs; recomputed by RestoreState
 	bufBytes int
 	peak     int
 
