@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill
+.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill bench-shuffle e2e-dist
 
 check: build vet lint lint-ssa race recovery obs
 
@@ -65,14 +65,15 @@ obs-scrape:
 
 # Short fuzz smoke for the binary codecs beyond their checked-in
 # corpora: the tuple spill codec, the checkpoint snapshot codecs
-# (manifest, sampling state, manager restore), and the compressed spill
-# chunk codec.
+# (manifest, sampling state, manager restore), the compressed spill
+# chunk codec, and the transport frame codec.
 fuzz:
 	$(GO) test ./internal/tuple -run='^$$' -fuzz=FuzzTupleCodec -fuzztime=10s
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzManifestCodec -fuzztime=10s
 	$(GO) test ./internal/sample -run='^$$' -fuzz=FuzzSampleRestore -fuzztime=10s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzManagerRestore -fuzztime=10s
 	$(GO) test ./internal/spill -run='^$$' -fuzz=FuzzChunkCodec -fuzztime=10s
+	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzFrameCodec -fuzztime=10s
 
 # Spill plane: sync vs async (write-behind + prefetch) vs async+codec
 # across storage latency profiles (local / ssd / remote), writing
@@ -93,3 +94,17 @@ bench-checkpoint:
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkPipeline -benchmem ./internal/spe/
 	$(GO) run ./cmd/spear-bench -experiment pipeline -benchjson BENCH_pipeline.json
+
+# Network shuffle: the TCP transport fabric vs the in-process channel
+# fabric at par 1/4, writing BENCH_shuffle.json (acceptance: TCP rows
+# bit-identical to in-process — values and Mode per window — enforced
+# inside the experiment; overhead is informational).
+bench-shuffle:
+	$(GO) run ./cmd/spear-bench -experiment shuffle -benchjson BENCH_shuffle.json
+
+# Distributed end-to-end gate: the real multi-process path. The
+# 2-process loopback identity + kill-one-node recovery tests (re-exec
+# shard subprocesses over TCP), then the spear-demo multi-process mode.
+e2e-dist:
+	$(GO) test -race -run 'TestDistributed' -v .
+	$(GO) run ./cmd/spear-demo -dataset dec -tuples 100000 -nodes 2

@@ -10,14 +10,18 @@
 //	spear-demo -dataset gcm -epsilon 0.05
 //	spear-demo -serve :8080                  # live /metrics during the run
 //	spear-demo -scrapecheck                  # self-scrape gate (CI)
+//	spear-demo -nodes 2                      # multi-process: 2 shard nodes over loopback TCP
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"sort"
 	"strings"
 	"sync"
@@ -69,10 +73,16 @@ func main() {
 		spillW  = flag.Int("spillworkers", 0, "async spill plane workers (0 = synchronous spilling)")
 		spillA  = flag.Int("spillahead", 0, "windows of watermark-driven spill prefetch (needs -spillworkers)")
 		spillC  = flag.Int("spillcompress", 0, "spill chunk compression level 0-9 (0 = off)")
+		nodes   = flag.Int("nodes", 0, "multi-process demo: distribute the SPEAr windowed stage across n shard subprocesses over loopback TCP (0 = in-process)")
+		par     = flag.Int("par", 0, "windowed-stage parallelism (0 = n when -nodes is set, else 1)")
+		shard   = flag.Bool("shard", false, "internal: run as one shard node (listen on 127.0.0.1:0, print SPEARADDR, serve one run); spawned by -nodes")
 	)
 	flag.Parse()
 	if *scrape && *serve == "" {
 		*serve = "127.0.0.1:0"
+	}
+	if *par == 0 && *nodes > 0 {
+		*par = *nodes
 	}
 
 	build := func(backend spear.Backend) (*spear.Query, *dataset.Stream) {
@@ -117,16 +127,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
 			os.Exit(2)
 		}
+		if *par > 0 {
+			q.Parallelism(*par)
+		}
 		return q, ds
 	}
 
-	// Exact reference first.
-	exact := map[window.ID]spear.Result{}
+	// Shard mode: this process is one node of a distributed run. It
+	// builds the same SPEAr query definition from the same flags (the
+	// handshake's structural hash verifies that), announces its address
+	// on stdout, and serves the workers the source assigns to it.
+	if *shard {
+		q, _ := build(spear.BackendSPEAr)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("SPEARADDR %s\n", lis.Addr())
+		if err := q.ServeShard(lis); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Exact reference first. With parallelism above one each worker
+	// produces its own result per window slot, so the reference is
+	// keyed per worker.
+	type slot struct {
+		worker int
+		id     window.ID
+	}
+	exact := map[slot]spear.Result{}
 	var mu sync.Mutex
 	qe, _ := build(spear.BackendExact)
 	exactSum, err := qe.Run(func(worker int, r spear.Result) {
 		mu.Lock()
-		exact[r.WindowID] = r
+		exact[slot{worker, r.WindowID}] = r
 		mu.Unlock()
 	})
 	if err != nil {
@@ -141,6 +179,30 @@ func main() {
 	}
 	var lines []line
 	qs, _ := build(spear.BackendSPEAr)
+
+	// Multi-process mode: re-exec this binary as -shard nodes, collect
+	// the addresses they announce, and point the SPEAr run at them. The
+	// exact reference above stays in-process — bit-identical results
+	// across the two runtimes is exactly the property being demoed.
+	var shards []*exec.Cmd
+	if *nodes > 0 {
+		addrs, procs, err := spawnShards(*nodes, *par)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		shards = procs
+		qs.Distribute(addrs...)
+		fmt.Fprintf(os.Stderr, "distributed: %d shard nodes (par %d): %s\n",
+			*nodes, *par, strings.Join(addrs, " "))
+	}
+	killShards := func() {
+		for _, p := range shards {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}
+
 	var (
 		obsAddr    string
 		scrapeOnce sync.Once
@@ -165,15 +227,22 @@ func main() {
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		e, ok := exact[r.WindowID]
+		e, ok := exact[slot{worker, r.WindowID}]
 		if !ok {
 			return
 		}
 		lines = append(lines, line{r, resultDelta(r, e)})
 	})
 	if err != nil {
+		killShards()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	for _, p := range shards {
+		if werr := p.Wait(); werr != nil {
+			fmt.Fprintf(os.Stderr, "shard node: %v\n", werr)
+			os.Exit(1)
+		}
 	}
 	if *scrape {
 		if !scraped {
@@ -194,10 +263,73 @@ func main() {
 			time.Unix(0, l.r.End).Format("15:04:05"),
 			l.r.Mode, l.r.SampleN, l.r.N, 100*l.err)
 	}
+	if *nodes > 0 {
+		// Per-window worker telemetry lives in the shard processes; the
+		// source-side summary would read all zeros.
+		fmt.Printf("\nexact (in-process): mean proc %v | SPEAr: %d windows over %d shard nodes\n",
+			exactSum.MeanProcTime, len(lines), *nodes)
+		return
+	}
 	fmt.Printf("\nexact: mean proc %v | SPEAr: mean proc %v (%.1fx), %d/%d accelerated\n",
 		exactSum.MeanProcTime, spearSum.MeanProcTime,
 		float64(exactSum.MeanProcTime)/float64(spearSum.MeanProcTime),
 		spearSum.Accelerated, spearSum.Windows)
+}
+
+// spawnShards re-execs this binary n times in -shard mode, forwarding
+// every explicitly-set flag (so the shards build the same query
+// definition) plus the resolved parallelism, and waits for each to
+// announce its listen address with a "SPEARADDR <addr>" stdout line.
+// On any failure every already-started shard is killed.
+func spawnShards(n, par int) (addrs []string, procs []*exec.Cmd, err error) {
+	args := []string{"-shard", fmt.Sprintf("-par=%d", par)}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "nodes", "shard", "par", "serve", "scrapecheck", "traceevery":
+			return // parent-only; par travels resolved, above
+		}
+		args = append(args, "-"+f.Name+"="+f.Value.String())
+	})
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	kill := func() {
+		for _, p := range procs {
+			_ = p.Process.Kill()
+			_ = p.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		out, perr := cmd.StdoutPipe()
+		if perr != nil {
+			kill()
+			return nil, nil, perr
+		}
+		if perr := cmd.Start(); perr != nil {
+			kill()
+			return nil, nil, perr
+		}
+		procs = append(procs, cmd)
+		// A shard prints exactly one stdout line, so the pipe needs no
+		// draining after the handshake.
+		sc := bufio.NewScanner(out)
+		addr := ""
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "SPEARADDR "); ok {
+				addr = a
+				break
+			}
+		}
+		if addr == "" {
+			kill()
+			return nil, nil, fmt.Errorf("shard %d exited before announcing its address", i)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, procs, nil
 }
 
 // checkScrape GETs /metrics while the query runs and verifies the

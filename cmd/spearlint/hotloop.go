@@ -33,6 +33,16 @@ var spillSeamScope = []string{
 	"internal/window",
 }
 
+// transportSendScope limits the send-path check to the network shuffle:
+// pump drains a worker outbox at full stream rate and sendSeq writes
+// one frame per call, so everything they reach synchronously — the
+// encode closures and the frame Append helpers behind them — is charged
+// per frame. Reconnection lives on the redial goroutine by design, so
+// `go` statement subtrees are exempt.
+var transportSendScope = []string{
+	"internal/transport",
+}
+
 // analyzerHotLoop flags per-tuple costs inside the engine's hot paths:
 //
 //   - In internal/spe worker loops (functions reached from a `go func`
@@ -47,6 +57,13 @@ var spillSeamScope = []string{
 //     loops of OnTupleBatch. No call expansion here, so the per-window
 //     fire paths — which legitimately observe ProcTime once per window
 //     through helpers — stay exempt.
+//   - In internal/transport, on the shuffle send path (pump, sendSeq,
+//     and every package-local function they reach synchronously): the
+//     worker-loop rules above over each reachable loop, plus any
+//     net.Dial* call anywhere on the path — a blocking connect stalls
+//     every frame behind the write lock, so dials belong to the redial
+//     goroutine (`go` statement subtrees are exempt from both the
+//     reachability walk and the dial scan).
 //   - Inside OnTupleBatch loops additionally: fmt.Sprintf/Sprint/
 //     Sprintln calls (per-tuple formatting reflects and allocates),
 //     string concatenation via + or += (each one copies both halves
@@ -84,6 +101,130 @@ func runHotLoop(p *Pkg) []Finding {
 	if inScope(p, spillSeamScope...) {
 		out = append(out, runDirectSpill(p)...)
 	}
+	if inScope(p, transportSendScope...) {
+		out = append(out, runTransportSend(p)...)
+	}
+	return out
+}
+
+// runTransportSend is the internal/transport side: the shuffle send
+// path. Roots are the outbox pump and the link's sendSeq; reachability
+// expands through package-local calls — including calls inside the
+// encode closures handed to sendSeq, which run synchronously on the
+// send path — but never through a `go` statement (the redial plane is
+// the sanctioned home for blocking work). Each reachable body gets the
+// worker-loop scan plus a whole-body net.Dial* scan.
+func runTransportSend(p *Pkg) []Finding {
+	type fnDecl struct {
+		decl *ast.FuncDecl
+		file *ast.File
+	}
+	decls := map[types.Object]fnDecl{}
+	var roots []fnDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if p.Info != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fnDecl{fd, f}
+				}
+			}
+			if fd.Name.Name == "pump" || fd.Name.Name == "sendSeq" {
+				roots = append(roots, fnDecl{fd, f})
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	type workItem struct {
+		body *ast.BlockStmt
+		file *ast.File
+	}
+	var work []workItem
+	seen := map[*ast.BlockStmt]bool{}
+	push := func(body *ast.BlockStmt, file *ast.File) {
+		if body != nil && !seen[body] {
+			seen[body] = true
+			work = append(work, workItem{body, file})
+		}
+	}
+	for _, r := range roots {
+		push(r.decl.Body, r.file)
+	}
+	var out []Finding
+	for i := 0; i < len(work); i++ {
+		item := work[i]
+		if p.Info != nil {
+			ast.Inspect(item.body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					// Work shipped to another goroutine (the redial
+					// plane) does not run on the send path.
+					return false
+				case *ast.CallExpr:
+					var id *ast.Ident
+					switch fun := n.Fun.(type) {
+					case *ast.Ident:
+						id = fun
+					case *ast.SelectorExpr:
+						id = fun.Sel
+					default:
+						return true
+					}
+					if obj := p.Info.Uses[id]; obj != nil {
+						if d, ok := decls[obj]; ok {
+							push(d.decl.Body, d.file)
+						}
+					}
+				}
+				return true
+			})
+		}
+		out = append(out, scanHotBody(p, item.body, importAlias(item.file, "time"))...)
+		out = append(out, scanNetDial(p, item.body, importAlias(item.file, "net"))...)
+	}
+	return out
+}
+
+// scanNetDial flags net.Dial, net.DialTimeout, net.DialTCP, ... calls
+// anywhere in body (loop or not — one blocking connect on the send
+// path stalls every frame queued behind the write lock), skipping `go`
+// statement subtrees. Matching is syntactic against the file's net
+// import alias, like the time.Now check: the stub importer leaves
+// stdlib objects opaque.
+func scanNetDial(p *Pkg, body *ast.BlockStmt, netAlias string) []Finding {
+	if netAlias == "" {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != netAlias || !strings.HasPrefix(sel.Sel.Name, "Dial") {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:   p.Fset.Position(call.Pos()),
+			Check: "hotloop",
+			Msg:   "net." + sel.Sel.Name + " on the transport send path; a blocking connect stalls every frame queued behind the write lock — dials belong to the redial goroutine",
+		})
+		return true
+	})
 	return out
 }
 

@@ -28,8 +28,9 @@ import (
 //
 // Blocking operations: mutex/RWMutex Lock and RLock, WaitGroup.Wait,
 // Cond.Wait, Once.Do, channel send/receive/range, select without
-// default, time.Sleep, os file I/O, and calls through the
-// storage.SpillStore interface.
+// default, time.Sleep, os file I/O, network dials (net.Dial* and
+// (*net.Dialer) methods — a connect blocks for a round-trip or a
+// timeout), and calls through the storage.SpillStore interface.
 var AnalyzerBlockfree = &Analyzer{
 	Name: "blockfree",
 	Doc:  "blocking operation reachable from code documented lock-free",
@@ -309,6 +310,13 @@ func blockingCall(info *types.Info, call *ast.CallExpr, spillIface *types.Interf
 	case "time":
 		if obj.Name() == "Sleep" {
 			return "time.Sleep"
+		}
+	case "net":
+		// Dial, DialTimeout, DialTCP, ... and (*net.Dialer).Dial*: a
+		// connect blocks the caller for a network round-trip (or its
+		// timeout) — the transport confines dials to redial goroutines.
+		if strings.HasPrefix(obj.Name(), "Dial") {
+			return obj.FullName() + " (blocking connect)"
 		}
 	case "os":
 		full := obj.FullName()

@@ -139,8 +139,17 @@ func TestHotTuple(t *testing.T) {
 	checkFixture(t, analyzerHotLoop, "hottuple", "internal/core")
 }
 
+// TestHotTransport is the internal/transport side of the hotloop
+// analyzer: the shuffle send path (pump, sendSeq, and everything the
+// encode closures reach synchronously) must reject inline net dials
+// and per-frame allocation churn, while the redial goroutine and code
+// the path never reaches stay quiet.
+func TestHotTransport(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "hottransport", "internal/transport")
+}
+
 func TestHotLoopOutOfScope(t *testing.T) {
-	for _, fixture := range []string{"hotloop", "hottuple"} {
+	for _, fixture := range []string{"hotloop", "hottuple", "hottransport"} {
 		pkg := loadFixture(t, filepath.Join("testdata", "src", fixture), "internal/fixture")
 		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
 			t.Errorf("out-of-scope %s should be clean, got %d findings", fixture, len(fs))

@@ -1,0 +1,98 @@
+// Package hottransport is a spearlint fixture mirroring the transport
+// shuffle's send path: pump drains a worker outbox onto the link and
+// sendSeq writes one frame per call. The analyzer must flag inline
+// dials and per-frame allocation churn on that path — including inside
+// the encode closures and the package functions they reach — while the
+// redial goroutine (behind a `go` statement) may dial freely and code
+// the send path never reaches stays quiet.
+package hottransport
+
+import (
+	"net"
+	"time"
+)
+
+// message stands in for the fabric's transfer unit.
+type message struct {
+	V      int
+	Sender int
+}
+
+// link mimics the transport link: sendSeq is a send-path root.
+type link struct {
+	addr string
+	conn net.Conn
+}
+
+// sendSeq writes one frame. The lazy dial here is the regression the
+// check exists for: a connect on the send path stalls every frame
+// queued behind the write lock.
+func (l *link) sendSeq(enc func(dst []byte, seq uint64) []byte) error {
+	if l.conn == nil {
+		c, err := net.Dial("tcp", l.addr) // want "net.Dial on the transport send path"
+		if err != nil {
+			return err
+		}
+		l.conn = c
+	}
+	body := enc(nil, 1)
+	if _, err := l.conn.Write(body); err != nil {
+		l.onLost()
+		return err
+	}
+	return nil
+}
+
+// node mimics the fabric's per-peer state; pump is a send-path root.
+type node struct{ lk *link }
+
+// pump drains the outbox; its batch loop runs at full shuffle rate.
+func (n *node) pump(out <-chan []message) {
+	for batch := range out {
+		_ = time.Now() // want "time.Now"
+		for i := range batch {
+			_ = n.lk.sendSeq(func(dst []byte, seq uint64) []byte {
+				// The closure runs synchronously inside sendSeq, so
+				// appendBatch below is on the send path too.
+				return appendBatch(dst, seq, batch[i:i+1])
+			})
+		}
+	}
+}
+
+// appendBatch encodes a run of tuples; reached from pump through the
+// encode closure, so its per-tuple loop is hot.
+func appendBatch(dst []byte, seq uint64, msgs []message) []byte {
+	dst = append(dst, byte(seq))
+	for _, m := range msgs {
+		meta := map[string]int{"v": m.V} // want "map literal"
+		_ = meta
+		dst = append(dst, byte(m.V), byte(m.Sender))
+	}
+	return dst
+}
+
+// onLost hands reconnection to the redial goroutine: the `go` subtree
+// is exempt, so the dial inside redial is the sanctioned design.
+func (l *link) onLost() {
+	go l.redial()
+}
+
+// redial dials on its own goroutine, out of the send path's
+// synchronous reach: no finding.
+func (l *link) redial() {
+	c, err := net.DialTimeout("tcp", l.addr, time.Second)
+	if err == nil {
+		l.conn = c
+	}
+}
+
+// coldDial is never reached from pump or sendSeq: quiet, loop and all.
+func coldDial(addrs []string) net.Conn {
+	for _, a := range addrs {
+		if c, err := net.Dial("tcp", a); err == nil {
+			return c
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@
 package obsx
 
 import (
+	"net"
 	"sync"
 
 	"fixture.example/blockfree/internal/storage"
@@ -53,4 +54,13 @@ func wire(in *Instruments, mu *sync.Mutex) {
 		defer mu.Unlock()
 		return 0
 	})
+}
+
+// Connect is lock-free by contract yet opens a TCP connection: a
+// connect blocks the caller for a network round-trip or its timeout.
+func Connect(addr string) {
+	c, _ := net.Dial("tcp", addr) // want "net.Dial (blocking connect)"
+	if c != nil {
+		_ = c.Close()
+	}
 }

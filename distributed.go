@@ -1,0 +1,254 @@
+package spear
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"time"
+
+	"spear/internal/checkpoint"
+	"spear/internal/core"
+	"spear/internal/metrics"
+	"spear/internal/obs"
+	"spear/internal/sample"
+	"spear/internal/spe"
+	"spear/internal/spill"
+	"spear/internal/storage"
+	"spear/internal/transport"
+)
+
+// Distribute runs the windowed stage on remote shard nodes instead of
+// local goroutines: the parallelism is split contiguously across the
+// given addresses, each hosting a ServeShard process built from the
+// same query definition (the handshake verifies this structurally).
+// Data batches, watermarks, and checkpoint barriers cross the wire in
+// per-sender order, so results — values and production mode — are
+// bit-identical to a single-process run with the same seed, and
+// aligned-barrier checkpoints plus source replay work unchanged.
+// Checkpointed distributed runs need a SpillStore every process shares
+// (e.g. a FileStore on a common directory).
+func (q *Query) Distribute(addrs ...string) *Query {
+	if len(addrs) == 0 {
+		return q.errf("Distribute needs at least one node address")
+	}
+	q.workers = append([]string(nil), addrs...)
+	return q
+}
+
+// ServeShard runs this process as one shard node of a distributed
+// query: it serves the windowed workers the source's handshake assigns
+// to it and returns when the run completes or fails. The query must be
+// built from the same definition as the source's (the same code,
+// typically — the handshake rejects structural mismatches); Source and
+// parallelism are the source process's concern and are ignored here.
+func (q *Query) ServeShard(lis net.Listener) error {
+	if len(q.errs) > 0 {
+		return errors.Join(q.errs...)
+	}
+	if !q.haveSpec {
+		return fmt.Errorf("spear: %s: no window", q.name)
+	}
+	if !q.haveAgg {
+		return fmt.Errorf("spear: %s: no aggregate", q.name)
+	}
+	store, plane, reg, err := q.assembleRuntime()
+	if err != nil {
+		return err
+	}
+
+	ins := q.obsInto
+	var tobs *obs.TransportObs
+	if ins != nil {
+		ins.SetRegistry(reg)
+		ins.SetStore(plane)
+		ins.SetSpillPlane(plane)
+		tobs = ins.RegisterTransport("source")
+	}
+
+	ns := q.name + "/ckpt"
+	srv := transport.NewServer(lis, transport.ServerConfig{
+		TopoHash: q.topoHash(),
+		Window:   q.transportWindow,
+		PeerWait: q.transportPeerWait,
+		Obs:      tobs,
+		Start: func(spec transport.JobSpec, ack func(transport.SnapAck) error) (*spe.ShardRun, error) {
+			factory := q.managerFactory(plane, reg, spec.Checkpoint)
+			var hooks *spe.CheckpointHooks
+			if spec.Checkpoint {
+				// Worker-side checkpoint protocol: restore from the
+				// manifest the source recovered to (loaded once, shared
+				// across this node's workers), persist blobs locally at
+				// each alignment point, acknowledge over the wire.
+				var once sync.Once
+				var m checkpoint.Manifest
+				var merr error
+				hooks = &spe.CheckpointHooks{
+					Restore: func(wi int, mgr core.Manager) error {
+						if spec.RestoreID == 0 {
+							return checkpoint.Rewind(mgr, wi)
+						}
+						once.Do(func() { m, merr = checkpoint.LoadManifest(store, ns, spec.RestoreID) })
+						if merr != nil {
+							return merr
+						}
+						return checkpoint.RestoreWorker(store, m, wi, mgr)
+					},
+					Snapshot: func(id uint64, wi int, mgr core.Manager) error {
+						op, deferred, err := checkpoint.SnapshotBlob(store, ns, id, wi, mgr)
+						if err != nil {
+							return err
+						}
+						return ack(transport.SnapAck{
+							ID: id, Worker: op.Worker, Key: op.Key,
+							Size: op.Size, Sum: op.Sum, Deferred: deferred,
+						})
+					},
+				}
+			}
+			return spe.StartShard(spe.Shard{
+				Name: q.name, Lo: spec.Lo, Hi: spec.Hi, Senders: spec.Senders,
+				BatchSize: spec.BatchSize, QueueSize: spec.QueueSize,
+				Factory: factory, Hooks: hooks, Obs: ins,
+			})
+		},
+	})
+	err = srv.Serve()
+	if cerr := plane.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("spear: %s: spill plane: %w", q.name, cerr)
+	}
+	return err
+}
+
+// assembleRuntime builds the pieces Run and ServeShard share: the raw
+// spill store, the spill I/O plane the managers talk to (the user's
+// store, optionally behind the compressed chunk codec, behind the
+// async write-behind/prefetch plane — a transparent synchronous
+// passthrough when SpillWorkers is 0), and the metrics registry. The
+// checkpoint machinery deliberately keeps the raw store: manifest and
+// blob writes are commit points and must stay synchronous, while
+// spilled-state durability is enforced by the plane's barrier inside
+// each snapshot.
+func (q *Query) assembleRuntime() (storage.SpillStore, *spill.Plane, *metrics.Registry, error) {
+	if q.budgetTuples == 0 {
+		// A sensible default: enough for a 10%/95% quantile per the
+		// Hoeffding bound, with headroom.
+		q.budgetTuples = 1000
+	}
+	store := q.store
+	if store == nil {
+		store = storage.NewMemStore()
+	}
+	planeInner := store
+	if q.spillCompression > 0 {
+		cs, err := spill.NewCodecStore(store, q.spillCompression)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("spear: %s: %w", q.name, err)
+		}
+		planeInner = cs
+	}
+	plane := spill.NewPlane(planeInner, spill.Options{
+		Workers:    q.spillWorkers,
+		QueueBytes: q.spillQueueBytes,
+		CacheBytes: q.spillCacheBytes,
+	})
+	reg := q.registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return store, plane, reg, nil
+}
+
+// managerFactory returns the stateful-manager factory both runtimes
+// use. Worker indices are always global, so per-worker seeds, store
+// keys, and telemetry names agree across processes.
+func (q *Query) managerFactory(plane *spill.Plane, reg *metrics.Registry, deferDeletes bool) spe.ManagerFactory {
+	return func(wi int) (core.Manager, error) {
+		cfg := core.Config{
+			Spec:               q.spec,
+			Agg:                q.aggFunc,
+			Custom:             q.custom,
+			Value:              q.value,
+			KeyBy:              q.keyBy,
+			Epsilon:            q.epsilon,
+			Confidence:         q.confidence,
+			BudgetTuples:       q.budgetTuples,
+			KnownGroups:        q.knownGroups,
+			Store:              plane,
+			Key:                fmt.Sprintf("%s/%s/%d", q.name, q.backend, wi),
+			SpillAhead:         q.spillAhead,
+			Seed:               sample.DeriveSeed(q.seed, int64(wi)),
+			DisableIncremental: q.disableIncremental,
+			ScalarEstimator:    q.scalarEst,
+			GroupedEstimator:   q.groupedEst,
+			Metrics:            reg.Worker(fmt.Sprintf("%s[%d]", q.name, wi)),
+			Budget:             q.budgetPolicy,
+			DeferStoreDeletes:  deferDeletes,
+		}
+		switch q.backend {
+		case BackendExact:
+			return core.NewExactManager(cfg, q.exactBufferBytes)
+		case BackendIncremental:
+			return core.NewIncrementalManager(cfg)
+		default:
+			if q.keyBy != nil {
+				return core.NewGroupedManager(cfg)
+			}
+			return core.NewScalarManager(cfg)
+		}
+	}
+}
+
+// topoHash digests the query parameters that determine results, so a
+// source and a shard built from diverged definitions refuse to pair
+// instead of silently computing different answers.
+func (q *Query) topoHash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%d|%d|%d",
+		q.name, q.backend, q.spec.Domain, q.spec.Range, q.spec.Slide,
+		q.parallelism, len(q.maps))
+	fmt.Fprintf(h, "|%d|%g|%g|%g|%d|%d|%d|%t|%t",
+		q.aggFunc.Op, q.aggFunc.P, q.epsilon, q.confidence,
+		q.budgetTuples, q.knownGroups, q.seed,
+		q.keyBy != nil, q.disableIncremental)
+	custom := ""
+	if q.custom != nil {
+		custom = q.custom.Name
+	}
+	fmt.Fprintf(h, "|%s|%d|%d", custom, q.batchSize, q.queueSize)
+	return h.Sum64()
+}
+
+// newFabric wires the source side of the shuffle: node addresses, the
+// structural hash, a fresh run identity, and — when checkpointing —
+// the coordinator's confirm path and the manifest shards restore from.
+func (q *Query) newFabric(coord *checkpoint.Coordinator, ins *obs.Instruments) *transport.Fabric {
+	if q.runID == 0 {
+		q.runID = uint64(time.Now().UnixNano())
+	}
+	cfg := transport.FabricConfig{
+		Nodes:       q.workers,
+		TopoHash:    q.topoHash(),
+		RunID:       q.runID,
+		BatchSize:   q.batchSize,
+		Dialer:      q.transportDialer,
+		Window:      q.transportWindow,
+		MaxRedials:  q.transportRedials,
+		BackoffBase: q.transportBackoff,
+		BackoffMax:  q.transportBackMax,
+		Obs:         ins,
+	}
+	if coord != nil {
+		cfg.Checkpoint = true
+		if m, ok := coord.Restored(); ok {
+			cfg.RestoreID = m.ID
+		}
+		cfg.Confirm = func(a transport.SnapAck) error {
+			return coord.Confirm(a.ID, checkpoint.Operator{
+				Worker: a.Worker, Key: a.Key, Size: a.Size, Sum: a.Sum,
+			}, a.Deferred)
+		}
+	}
+	return transport.NewFabric(cfg)
+}

@@ -1,0 +1,382 @@
+package spear
+
+import (
+	"math"
+	"net"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spear/internal/leakcheck"
+	"spear/internal/transport"
+)
+
+// distTuples builds a deterministic stream over `windows` tumbling
+// windows of winSec seconds each: dense windows carry enough tuples
+// for the accuracy check to accept a sample, while every third window
+// is so sparse the check refuses and the exact path runs — so a run
+// over this stream exercises both production modes. Each tuple carries
+// a skewed float value and a group key cycling over g groups (unused
+// by scalar queries).
+func distTuples(windows, winSec, g int) []Tuple {
+	var ts []Tuple
+	i := 0
+	for w := 0; w < windows; w++ {
+		n := 600
+		if w%3 == 1 {
+			n = 5
+		}
+		for k := 0; k < n; k++ {
+			sec := int64(w*winSec) + int64(k*winSec)/int64(n)
+			v := float64((i*7919)%1000) / 3
+			ts = append(ts, NewTuple(sec*int64(time.Second), Float(v), Int(int64(i%g))))
+			i++
+		}
+	}
+	return ts
+}
+
+// workerResult pairs a result with the (global) worker that produced
+// it, for bit-identity comparison across runtimes.
+type workerResult struct {
+	Worker int
+	Res    Result
+}
+
+type workerSink struct {
+	mu  sync.Mutex
+	res []workerResult
+}
+
+func (s *workerSink) add(worker int, r Result) {
+	s.mu.Lock()
+	s.res = append(s.res, workerResult{Worker: worker, Res: r})
+	s.mu.Unlock()
+}
+
+func (s *workerSink) sorted() []workerResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]workerResult(nil), s.res...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Res.Start != out[j].Res.Start {
+			return out[i].Res.Start < out[j].Res.Start
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// shardCluster runs n ServeShard goroutines on loopback listeners.
+type shardCluster struct {
+	addrs []string
+	lis   []net.Listener
+	done  []chan error
+}
+
+func startShards(t *testing.T, n int, build func() *Query) *shardCluster {
+	t.Helper()
+	c := &shardCluster{}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		q := build()
+		go func() { done <- q.ServeShard(lis) }()
+		c.addrs = append(c.addrs, lis.Addr().String())
+		c.lis = append(c.lis, lis)
+		c.done = append(c.done, done)
+	}
+	return c
+}
+
+// wait collects every shard's exit, failing the test on errors unless
+// tolerate is set.
+func (c *shardCluster) wait(t *testing.T, tolerate bool) {
+	t.Helper()
+	for i, done := range c.done {
+		select {
+		case err := <-done:
+			if err != nil && !tolerate {
+				t.Errorf("shard %d: %v", i, err)
+			}
+		case <-time.After(20 * time.Second):
+			_ = c.lis[i].Close()
+			t.Fatalf("shard %d did not exit", i)
+		}
+	}
+}
+
+func (c *shardCluster) kill() {
+	for _, l := range c.lis {
+		_ = l.Close()
+	}
+}
+
+// requireIdentical asserts two runs produced bit-identical streams:
+// same windows, same workers, same values, same production modes.
+func requireIdentical(t *testing.T, ref, got []workerResult) {
+	t.Helper()
+	if len(ref) != len(got) {
+		t.Fatalf("result count: got %d, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i].Worker != got[i].Worker || !reflect.DeepEqual(ref[i].Res, got[i].Res) {
+			t.Fatalf("result %d diverged:\n got %d %+v\nwant %d %+v",
+				i, got[i].Worker, got[i].Res, ref[i].Worker, ref[i].Res)
+		}
+	}
+}
+
+func modes(rs []workerResult) map[string]int {
+	m := map[string]int{}
+	for _, r := range rs {
+		m[r.Res.Mode.String()]++
+	}
+	return m
+}
+
+// TestDistributedLoopbackIdentity runs the same scalar holistic query
+// single-process and across two TCP shard nodes and requires
+// bit-identical output — values AND accelerate/exact decisions. The
+// never-firing checkpoint cadence matches the reference's partitioner
+// seeding to the distributed run's without emitting barriers.
+func TestDistributedLoopbackIdentity(t *testing.T) {
+	leakcheck.Check(t, leakcheck.Timeout(10*time.Second))
+	in := distTuples(20, 300, 8)
+	build := func() *Query {
+		return NewQuery("distq").
+			TumblingWindow(300 * time.Second).
+			Percentile(func(tp Tuple) float64 { return tp.Vals[0].AsFloat() }, 0.9).
+			BudgetTuples(96).
+			Error(0.10, 0.95).
+			Seed(11).
+			Parallelism(4).
+			CheckpointEvery(1<<40, 0)
+	}
+
+	ref := &workerSink{}
+	if _, err := build().Source(FromSlice(in)).Run(ref.add); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.sorted()
+	if m := modes(want); m["sampled"] == 0 || m["exact"] == 0 {
+		t.Fatalf("reference does not exercise both modes: %v", m)
+	}
+
+	shards := startShards(t, 2, build)
+	got := &workerSink{}
+	if _, err := build().Source(FromSlice(in)).Distribute(shards.addrs...).Run(got.add); err != nil {
+		t.Fatal(err)
+	}
+	shards.wait(t, false)
+	requireIdentical(t, want, got.sorted())
+}
+
+// TestDistributedLoopbackIdentityGrouped does the same for a grouped
+// aggregate, where seeded-fields routing decides which worker owns
+// each group — the distributed run must route identically or
+// per-worker samples diverge.
+func TestDistributedLoopbackIdentityGrouped(t *testing.T) {
+	leakcheck.Check(t, leakcheck.Timeout(10*time.Second))
+	in := distTuples(15, 400, 12)
+	build := func() *Query {
+		return NewQuery("distg").
+			TumblingWindow(400 * time.Second).
+			GroupBy(func(tp Tuple) string { return tp.Vals[1].String() }).
+			Mean(func(tp Tuple) float64 { return tp.Vals[0].AsFloat() }).
+			BudgetTuples(128).
+			Error(0.10, 0.95).
+			Seed(23).
+			Parallelism(3).
+			CheckpointEvery(1<<40, 0)
+	}
+
+	ref := &workerSink{}
+	if _, err := build().Source(FromSlice(in)).Run(ref.add); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.sorted()
+	if len(want) == 0 {
+		t.Fatal("reference produced nothing")
+	}
+
+	shards := startShards(t, 3, build)
+	got := &workerSink{}
+	if _, err := build().Source(FromSlice(in)).Distribute(shards.addrs...).Run(got.add); err != nil {
+		t.Fatal(err)
+	}
+	shards.wait(t, false)
+	requireIdentical(t, want, got.sorted())
+}
+
+// TestDistributedBarriersOverWire runs a checkpointing distributed
+// query whose cadence fires mid-stream, with a stateless stage fanning
+// the windowed input out over four senders: barriers and watermarks
+// must align across the wire exactly as in-process. Four senders mean
+// the windowed workers see a nondeterministic cross-sender interleaving
+// in BOTH runtimes, so the extractor rounds each value to an integer:
+// integral float64 sums are exact and therefore order-independent,
+// which keeps the comparison bit-for-bit without pinning an arrival
+// order no runtime guarantees.
+func TestDistributedBarriersOverWire(t *testing.T) {
+	leakcheck.Check(t, leakcheck.Timeout(10*time.Second))
+	in := distTuples(20, 250, 6)
+	build := func() *Query {
+		return NewQuery("distb").
+			Map(func(tp Tuple) (Tuple, bool) { return tp, true }).
+			TumblingWindow(250 * time.Second).
+			Sum(func(tp Tuple) float64 { return math.Round(tp.Vals[0].AsFloat() * 3) }).
+			WithBackend(BackendExact).
+			Seed(5).
+			Parallelism(4).
+			CheckpointEvery(900, 0)
+	}
+
+	ref := &workerSink{}
+	var cmRef CheckpointMetrics
+	if _, err := build().Source(FromSlice(in)).CheckpointMetricsInto(&cmRef).Run(ref.add); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.sorted()
+
+	shards := startShards(t, 2, build)
+	got := &workerSink{}
+	var cm CheckpointMetrics
+	if _, err := build().Source(FromSlice(in)).
+		CheckpointMetricsInto(&cm).
+		Distribute(shards.addrs...).
+		Run(got.add); err != nil {
+		t.Fatal(err)
+	}
+	shards.wait(t, false)
+	requireIdentical(t, want, got.sorted())
+	// Round counts are timing-dependent (the coordinator skips a cadence
+	// point while a round is still in flight), so only completion is
+	// asserted — the reference's count need not match.
+	if cm.Completed.Load() < 1 {
+		t.Fatal("distributed run committed no checkpoints")
+	}
+	if cmRef.Completed.Load() < 1 {
+		t.Fatal("reference run committed no checkpoints")
+	}
+}
+
+// TestDistributedReconnect cuts the connection mid-stream: the fabric
+// must redial with backoff, replay the unacknowledged suffix, and the
+// run must still be bit-identical — the wire-level exactly-once
+// property.
+func TestDistributedReconnect(t *testing.T) {
+	leakcheck.Check(t, leakcheck.Timeout(10*time.Second))
+	in := distTuples(20, 300, 8)
+	build := func() *Query {
+		return NewQuery("distr").
+			TumblingWindow(300 * time.Second).
+			Percentile(func(tp Tuple) float64 { return tp.Vals[0].AsFloat() }, 0.9).
+			BudgetTuples(96).
+			Error(0.10, 0.95).
+			Seed(11).
+			Parallelism(2).
+			CheckpointEvery(700, 0)
+	}
+
+	ref := &workerSink{}
+	if _, err := build().Source(FromSlice(in)).Run(ref.add); err != nil {
+		t.Fatal(err)
+	}
+
+	shards := startShards(t, 1, build)
+	fd := &transport.FaultDialer{CutAfterWrites: 40, CutOnce: true}
+	ins := NewInstruments()
+	got := &workerSink{}
+	q := build().Source(FromSlice(in)).Distribute(shards.addrs...).ObserveWith(ins)
+	q.transportDialer = fd
+	q.transportBackoff = 5 * time.Millisecond
+	if _, err := q.Run(got.add); err != nil {
+		t.Fatal(err)
+	}
+	shards.wait(t, false)
+	requireIdentical(t, ref.sorted(), got.sorted())
+	if fd.Dials() < 2 {
+		t.Fatalf("dialer saw %d dials; the cut did not force a reconnect", fd.Dials())
+	}
+	snap := ins.Snapshot(time.Now())
+	var reconnects int64
+	for _, tr := range snap.Transport {
+		reconnects += tr.Reconnects
+	}
+	if reconnects < 1 {
+		t.Fatalf("transport counters recorded %d reconnects, want >= 1", reconnects)
+	}
+}
+
+// TestDistributedDialFaults exercises the remaining dial-time faults:
+// refused first dials (capped backoff retries them) and duplicated
+// connections that die before the handshake (the listener must shrug
+// them off).
+func TestDistributedDialFaults(t *testing.T) {
+	leakcheck.Check(t, leakcheck.Timeout(10*time.Second))
+	in := distTuples(10, 200, 4)
+	build := func() *Query {
+		return NewQuery("distf").
+			TumblingWindow(200 * time.Second).
+			Mean(func(tp Tuple) float64 { return tp.Vals[0].AsFloat() }).
+			BudgetTuples(64).
+			Seed(3).
+			Parallelism(2).
+			CheckpointEvery(1<<40, 0)
+	}
+
+	ref := &workerSink{}
+	if _, err := build().Source(FromSlice(in)).Run(ref.add); err != nil {
+		t.Fatal(err)
+	}
+
+	shards := startShards(t, 2, build)
+	fd := &transport.FaultDialer{FailFirst: 2, DoubleDial: true, Delay: time.Millisecond}
+	got := &workerSink{}
+	q := build().Source(FromSlice(in)).Distribute(shards.addrs...)
+	q.transportDialer = fd
+	q.transportBackoff = 5 * time.Millisecond
+	if _, err := q.Run(got.add); err != nil {
+		t.Fatal(err)
+	}
+	shards.wait(t, false)
+	requireIdentical(t, ref.sorted(), got.sorted())
+}
+
+// TestDistributedTopologyMismatch pairs a source with a shard built
+// from a diverged query; the handshake must refuse and the run must
+// fail loudly instead of computing silently different answers.
+func TestDistributedTopologyMismatch(t *testing.T) {
+	leakcheck.Check(t, leakcheck.Timeout(10*time.Second))
+	in := distTuples(5, 100, 4)
+	shardQ := func() *Query {
+		return NewQuery("distm").
+			TumblingWindow(100 * time.Second).
+			Count().
+			Seed(99). // diverged seed → different topology hash
+			Parallelism(2)
+	}
+	shards := startShards(t, 1, shardQ)
+	q := NewQuery("distm").
+		TumblingWindow(100 * time.Second).
+		Count().
+		Seed(1).
+		Parallelism(2).
+		Source(FromSlice(in)).
+		Distribute(shards.addrs...)
+	q.transportBackoff = time.Millisecond
+	q.transportRedials = 1
+	_, err := q.Run(func(int, Result) {})
+	if err == nil || !strings.Contains(err.Error(), "topology hash") {
+		t.Fatalf("err = %v, want topology hash mismatch", err)
+	}
+	shards.kill()
+	shards.wait(t, true)
+}

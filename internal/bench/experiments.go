@@ -48,13 +48,14 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 	"checkpoint": Checkpoint,
 	"pipeline":   Pipeline,
 	"spill":      Spill,
+	"shuffle":    Shuffle,
 }
 
 // ExperimentIDs returns all experiment ids in presentation order.
 func ExperimentIDs() []string {
 	return []string{"table1", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint",
-		"pipeline", "spill"}
+		"pipeline", "spill", "shuffle"}
 }
 
 // ---- dataset-specific query builders ----

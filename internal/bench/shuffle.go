@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"spear"
+	"spear/internal/obs"
+)
+
+// Shuffle measures the network transport fabric against the in-process
+// channel fabric on the same query: a sliding-window SPEAr mean over a
+// synthetic stream, at parallelism 1 and 4. The TCP rows run the
+// windowed stage on shard servers behind real loopback TCP sockets
+// (one node at par 1, two nodes splitting the workers at par 4), so
+// every data batch, watermark, and stream-end crosses the wire through
+// the length-prefixed frame codec and the credit-window protocol.
+//
+// The acceptance gate is identity, not speed: every TCP row must
+// reproduce the in-process run bit-for-bit — scalar values AND
+// accelerate/exact Mode decisions per window — which this experiment
+// verifies before reporting. The interesting numbers are the overhead
+// factor (TCP wall / in-process wall) and the frame counts, which show
+// what the micro-batching amortizes: tuples cross in batch frames, so
+// frames ≪ tuples.
+//
+// With Options.BenchJSON set the rows are also written as JSON (make
+// bench-shuffle checks in BENCH_shuffle.json at the repo root).
+func Shuffle(opt Options) ([]*Table, error) {
+	const (
+		tuples     = 120_000
+		slideTicks = 1000
+		rangeTicks = 8 * slideTicks
+	)
+	in := make([]spear.Tuple, tuples)
+	vals := make([]spear.Value, tuples)
+	for i := range in {
+		vals[i] = spear.Float(float64((i*2654435761)&1023) / 8)
+		in[i] = spear.Tuple{Ts: int64(i), Vals: vals[i : i+1 : i+1]}
+	}
+
+	build := func(par int, ins *obs.Instruments) *spear.Query {
+		q := spear.NewQuery("shufflebench").
+			Source(spear.FromSlice(in)).
+			SlidingWindow(time.Duration(rangeTicks), time.Duration(slideTicks)).
+			WatermarkEvery(time.Duration(slideTicks), time.Duration(slideTicks)).
+			Mean(func(t spear.Tuple) float64 { return t.Vals[0].AsFloat() }).
+			Error(epsilon, confidence).
+			BudgetTuples(decMedianBudget).
+			Parallelism(par).
+			Seed(opt.Seed)
+		if ins != nil {
+			q.ObserveWith(ins)
+		}
+		return q
+	}
+
+	// runTCP serves `nodes` shard servers on loopback TCP listeners in
+	// this process — the wire, the codec, and the credit protocol are
+	// exactly the multi-process path; only the process boundary is
+	// elided — and points a distributed source run at them.
+	runTCP := func(label string, par, nodes int, ins *obs.Instruments) (*runOut, error) {
+		addrs := make([]string, nodes)
+		errc := make(chan error, nodes)
+		for i := 0; i < nodes; i++ {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			addrs[i] = lis.Addr().String()
+			sq := build(par, nil)
+			//lint:ignore goroutine-discipline joined below: runTCP receives exactly one error per node from errc before returning
+			go func() { errc <- sq.ServeShard(lis) }()
+		}
+		out, err := runQuery(label, build(par, ins).Distribute(addrs...))
+		for i := 0; i < nodes; i++ {
+			if serr := <-errc; serr != nil && err == nil {
+				err = fmt.Errorf("shard node: %w", serr)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	type row struct {
+		Par        int     `json:"par"`
+		Nodes      int     `json:"nodes"`
+		Fabric     string  `json:"fabric"`
+		WallS      float64 `json:"wall_s"`
+		TuplesPerS float64 `json:"tuples_per_sec"`
+		Overhead   float64 `json:"overhead_vs_inproc"`
+		TxFrames   int64   `json:"tx_frames"`
+		TxBytes    int64   `json:"tx_bytes"`
+		RxFrames   int64   `json:"rx_frames"`
+		Reconnects int64   `json:"reconnects"`
+	}
+
+	t := &Table{
+		Title: "Shuffle: network transport fabric vs in-process channels (identical results enforced)",
+		Header: []string{"par", "fabric", "nodes", "wall(s)", "tuples/s",
+			"overhead", "tx frames", "tx KB", "reconnects"},
+	}
+	var rows []row
+	for _, par := range []int{1, 4} {
+		nodes := 1
+		if par > 1 {
+			nodes = 2
+		}
+		local, err := runQuery(fmt.Sprintf("shuffle-inproc-p%d", par), build(par, nil))
+		if err != nil {
+			return nil, err
+		}
+		ins := obs.NewInstruments()
+		remote, err := runTCP(fmt.Sprintf("shuffle-tcp-p%d", par), par, nodes, ins)
+		if err != nil {
+			return nil, err
+		}
+		// Identity gate: the wire must not change a single window's
+		// value or Mode relative to the in-process run.
+		if err := sameRunResults(local, remote); err != nil {
+			return nil, fmt.Errorf("shuffle: par %d TCP diverged from in-process: %w", par, err)
+		}
+		var tx, txB, rx, rec int64
+		for _, ts := range ins.Snapshot(time.Now()).Transport {
+			tx += ts.TxFrames
+			txB += ts.TxBytes
+			rx += ts.RxFrames
+			rec += ts.Reconnects
+		}
+		for _, r := range []row{
+			{Par: par, Nodes: 0, Fabric: "inproc", WallS: local.wall.Seconds(),
+				TuplesPerS: float64(tuples) / local.wall.Seconds(), Overhead: 1},
+			{Par: par, Nodes: nodes, Fabric: "tcp", WallS: remote.wall.Seconds(),
+				TuplesPerS: float64(tuples) / remote.wall.Seconds(),
+				Overhead:   float64(remote.wall) / float64(local.wall),
+				TxFrames:   tx, TxBytes: txB, RxFrames: rx, Reconnects: rec},
+		} {
+			rows = append(rows, r)
+			nodesCell := "-"
+			if r.Nodes > 0 {
+				nodesCell = fmt.Sprint(r.Nodes)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(r.Par), r.Fabric, nodesCell,
+				fmt.Sprintf("%.3f", r.WallS),
+				fmt.Sprintf("%.0f", r.TuplesPerS),
+				fmt.Sprintf("%.2fx", r.Overhead),
+				fmt.Sprint(r.TxFrames),
+				fmt.Sprintf("%.1f", float64(r.TxBytes)/1024),
+				fmt.Sprint(r.Reconnects),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"acceptance: TCP rows bit-identical to in-process (values and Mode per window); overhead is informational",
+		fmt.Sprintf("stream: %d tuples, sliding %d/%d ticks, SPEAr mean (ε=%g, b=%d); shards served over loopback TCP",
+			tuples, rangeTicks, slideTicks, epsilon, decMedianBudget),
+		"tx frames ≪ tuples: contiguous same-sender tuples ride one batch frame; credits flow on the reverse path",
+	)
+
+	if opt.BenchJSON != "" {
+		blob, err := json.MarshalIndent(struct {
+			Experiment string `json:"experiment"`
+			Tuples     int    `json:"tuples"`
+			Rows       []row  `json:"rows"`
+		}{"shuffle", tuples, rows}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(opt.BenchJSON, append(blob, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("writing %s: %w", opt.BenchJSON, err)
+		}
+		t.Notes = append(t.Notes, "json written to "+opt.BenchJSON)
+	}
+	return []*Table{t}, nil
+}

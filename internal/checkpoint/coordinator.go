@@ -317,6 +317,16 @@ func (c *Coordinator) snapshot(id uint64, worker int, mgr core.Manager) error {
 	if dd, ok := mgr.(DeferredDeleter); ok {
 		deferred = dd.TakeDeferredDeletes()
 	}
+	return c.Confirm(id, Operator{Worker: worker, Key: key, Size: int64(len(blob)), Sum: BlobSum(blob)}, deferred)
+}
+
+// Confirm records that worker op.Worker's snapshot blob for checkpoint
+// id is durably stored; the last confirmation commits the manifest.
+// The local snapshot hook calls it after persisting; the distributed
+// runtime calls it when a remote worker's acknowledgment frame arrives
+// (the worker persisted the blob itself through the shared store).
+func (c *Coordinator) Confirm(id uint64, op Operator, deferred []string) error {
+	worker := op.Worker
 	c.mu.Lock()
 	r := c.pending
 	if r == nil || r.id != id {
@@ -329,9 +339,9 @@ func (c *Coordinator) snapshot(id uint64, worker int, mgr core.Manager) error {
 	}
 	r.acked[worker] = true
 	r.ackedN++
-	r.ops = append(r.ops, Operator{Worker: worker, Key: key, Size: int64(len(blob)), Sum: BlobSum(blob)})
+	r.ops = append(r.ops, op)
 	r.deferred = append(r.deferred, deferred...)
-	r.bytes += int64(len(blob))
+	r.bytes += op.Size
 	done := r.ackedN == len(r.acked)
 	if done {
 		c.pending = nil

@@ -81,10 +81,11 @@ func (b *BatchOccupancy) Record(size int) {
 // concurrently snapshotting (the engine registers edges and workers as
 // Topology.Run builds the DAG, which may overlap the first scrape).
 type Instruments struct {
-	mu      sync.Mutex
-	edges   []Edge
-	workers []*WorkerObs
-	sink    *Edge
+	mu         sync.Mutex
+	edges      []Edge
+	workers    []*WorkerObs
+	sink       *Edge
+	transports []*TransportObs
 
 	reg   *metrics.Registry
 	store spillStore

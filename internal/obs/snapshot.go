@@ -109,6 +109,10 @@ type Snapshot struct {
 	// the previous reporter tick.
 	CheckpointDelta *CheckpointSnapshot `json:"checkpoint_delta,omitempty"`
 
+	// Transport holds per-peer network-shuffle counters; empty for
+	// single-process runs.
+	Transport []TransportSnapshot `json:"transport,omitempty"`
+
 	TraceRecorded uint64 `json:"trace_recorded,omitempty"`
 }
 
@@ -122,6 +126,8 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 	workers := make([]*WorkerObs, len(in.workers))
 	copy(workers, in.workers)
 	sink := in.sink
+	transports := make([]*TransportObs, len(in.transports))
+	copy(transports, in.transports)
 	reg, store, ckpt, trace := in.reg, in.store, in.ckpt, in.trace
 	plane := in.plane
 	in.mu.Unlock()
@@ -209,6 +215,9 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 			SnapshotMeanNanos:  ckpt.SnapshotTime.Mean(),
 			AlignStallSumNanos: ckpt.AlignStall.Sum(),
 		}
+	}
+	for _, t := range transports {
+		s.Transport = append(s.Transport, transportSnapshot(t))
 	}
 	if trace != nil {
 		s.TraceRecorded = trace.Recorded()
@@ -370,6 +379,20 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		p("spear_checkpoint_recovery_seconds %g\n", float64(c.RecoveryNanos)/1e9)
 		p("spear_checkpoint_snapshot_mean_seconds %g\n", c.SnapshotMeanNanos/1e9)
 		p("spear_checkpoint_align_stall_seconds_total %g\n", c.AlignStallSumNanos/1e9)
+	}
+
+	family("spear_transport_frames_total", "Network-shuffle frames moved per peer link, by direction.", "counter")
+	family("spear_transport_bytes_total", "Network-shuffle wire bytes moved per peer link, by direction.", "counter")
+	family("spear_transport_reconnects_total", "Successful link reconnects per peer.", "counter")
+	family("spear_transport_credit_stalls_total", "Sends that blocked on the credit window per peer link.", "counter")
+	for _, t := range s.Transport {
+		n := escapeLabel(t.Name)
+		p("spear_transport_frames_total{peer=\"%s\",dir=\"tx\"} %d\n", n, t.TxFrames)
+		p("spear_transport_frames_total{peer=\"%s\",dir=\"rx\"} %d\n", n, t.RxFrames)
+		p("spear_transport_bytes_total{peer=\"%s\",dir=\"tx\"} %d\n", n, t.TxBytes)
+		p("spear_transport_bytes_total{peer=\"%s\",dir=\"rx\"} %d\n", n, t.RxBytes)
+		p("spear_transport_reconnects_total{peer=\"%s\"} %d\n", n, t.Reconnects)
+		p("spear_transport_credit_stalls_total{peer=\"%s\"} %d\n", n, t.CreditStalls)
 	}
 
 	family("spear_trace_events_total", "Lifecycle trace events recorded into the ring.", "counter")

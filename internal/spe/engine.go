@@ -132,7 +132,8 @@ type Topology struct {
 		keyBy   tuple.KeyExtractor // nil → shuffle
 		factory ManagerFactory
 	}
-	sink ResultSink
+	sink   ResultSink
+	fabric Fabric
 }
 
 // NewTopology returns an empty topology with cfg (defaults applied).
@@ -234,11 +235,6 @@ func (e *errOnce) get() error {
 	return e.err
 }
 
-type sinkItem struct {
-	worker int
-	res    core.Result
-}
-
 // Run executes the topology to completion: the spout is drained, a final
 // watermark fires remaining complete windows, and all results reach the
 // sink before Run returns. The first worker error aborts processing (the
@@ -265,8 +261,35 @@ func (tp *Topology) Run() error {
 	for i, s := range tp.stages {
 		stageIn[i] = mkChans(s.par)
 	}
-	winIn := mkChans(tp.windowed.par)
-	results := make(chan []sinkItem, tp.cfg.QueueSize)
+	winSenders := 1
+	if len(tp.stages) > 0 {
+		winSenders = tp.stages[len(tp.stages)-1].par
+	}
+
+	// The windowed stage's input channels and result fan-in either run
+	// locally or belong to a fabric (network outboxes pumped to remote
+	// shard nodes, results arriving over the wire).
+	var winIn []chan []Message
+	var results chan []SinkItem     // local fan-in; nil under a fabric
+	var resultsIn <-chan []SinkItem // what the sink drains
+	if tp.fabric != nil {
+		var err error
+		winIn, err = tp.fabric.Open(tp.windowed.par, winSenders, tp.cfg.QueueSize, FabricEnv{
+			Recycle: pool.put,
+			Fail:    failed.set,
+		})
+		if err != nil {
+			return fmt.Errorf("spe: open fabric: %w", err)
+		}
+		if len(winIn) != tp.windowed.par {
+			return fmt.Errorf("spe: fabric opened %d channels for %d workers", len(winIn), tp.windowed.par)
+		}
+		resultsIn = tp.fabric.Results()
+	} else {
+		winIn = mkChans(tp.windowed.par)
+		results = make(chan []SinkItem, tp.cfg.QueueSize)
+		resultsIn = results
+	}
 
 	// Live observability: register pull probes over every channel the
 	// run just built. A probe is a closure over len(chan) — the engine
@@ -285,7 +308,8 @@ func (tp *Topology) Run() error {
 			c := c
 			ins.RegisterEdge(fmt.Sprintf("%s[%d]", tp.windowed.name, wi), tp.cfg.QueueSize, func() int { return len(c) })
 		}
-		ins.RegisterSink(tp.cfg.QueueSize, func() int { return len(results) })
+		sinkCh := resultsIn
+		ins.RegisterSink(tp.cfg.QueueSize, func() int { return len(sinkCh) })
 	}
 
 	firstIn := winIn
@@ -308,20 +332,25 @@ func (tp *Topology) Run() error {
 	hooks := tp.cfg.Checkpoint
 
 	// Build every worker's manager before starting any goroutine so a
-	// factory failure cannot leak a half-started pipeline.
-	managers := make([]core.Manager, tp.windowed.par)
-	for wi := range managers {
-		mgr, err := tp.windowed.factory(wi)
-		if err != nil {
-			return fmt.Errorf("spe: windowed worker %d: %w", wi, err)
+	// factory failure cannot leak a half-started pipeline. Under a
+	// fabric the managers live on the remote shard nodes (built and
+	// restored there by StartShard); locally we build and restore here.
+	var managers []core.Manager
+	if tp.fabric == nil {
+		managers = make([]core.Manager, tp.windowed.par)
+		for wi := range managers {
+			mgr, err := tp.windowed.factory(wi)
+			if err != nil {
+				return fmt.Errorf("spe: windowed worker %d: %w", wi, err)
+			}
+			managers[wi] = mgr
 		}
-		managers[wi] = mgr
 	}
 
 	// Checkpoint recovery: restore operator state and seek the spout
 	// before any goroutine starts.
 	if hooks != nil {
-		if hooks.Restore != nil {
+		if hooks.Restore != nil && tp.fabric == nil {
 			for wi, mgr := range managers {
 				if err := hooks.Restore(wi, mgr); err != nil {
 					return fmt.Errorf("spe: restore worker %d: %w", wi, err)
@@ -528,190 +557,49 @@ func (tp *Topology) Run() error {
 		}(wg, nextIn, waiterFor(si, &wgSpout, stageWGs))
 	}
 
-	// Windowed workers.
-	winSenders := 1
-	if len(tp.stages) > 0 {
-		winSenders = tp.stages[len(tp.stages)-1].par
-	}
-	for wi := 0; wi < tp.windowed.par; wi++ {
-		mgr := managers[wi]
-		var wobs *obs.WorkerObs
-		if ins != nil {
-			wobs = ins.RegisterWorker(fmt.Sprintf("%s[%d]", tp.windowed.name, wi))
+	// Windowed workers (local execution only — under a fabric the shard
+	// nodes run the identical loop via StartShard).
+	if tp.fabric == nil {
+		for wi := 0; wi < tp.windowed.par; wi++ {
+			mgr := managers[wi]
+			var wobs *obs.WorkerObs
+			if ins != nil {
+				wobs = ins.RegisterWorker(fmt.Sprintf("%s[%d]", tp.windowed.name, wi))
+			}
+			wgWin.Add(1)
+			go func(wi int, in chan []Message, mgr core.Manager, wobs *obs.WorkerObs) {
+				defer wgWin.Done()
+				runWinWorker(winWorkerCfg{
+					name:      tp.windowed.name,
+					wi:        wi,
+					senders:   winSenders,
+					batchSize: tp.cfg.BatchSize,
+					hooks:     hooks,
+					mgr:       mgr,
+					in:        in,
+					results:   results,
+					pool:      pool,
+					failed:    &failed,
+					ins:       ins,
+					wobs:      wobs,
+					trace:     trace,
+				})
+			}(wi, winIn[wi], mgr, wobs)
 		}
-		wgWin.Add(1)
-		go func(wi int, in chan []Message, mgr core.Manager) {
-			defer wgWin.Done()
-			tracker := watermark.NewTracker(winSenders)
-			var al *barrierAligner
-			if hooks != nil {
-				al = newBarrierAligner(winSenders, hooks.clock(), hooks.AlignStall)
-			}
-			// Contiguous data tuples are drained through the manager's
-			// OnTupleBatch fast path (asserted once, outside the loop);
-			// managers without one fall back to the per-tuple shim.
-			bm, hasBatch := mgr.(core.BatchManager)
-			// Watermark-driven read-ahead: managers backed by the async
-			// spill plane expose PrefetchWatermark; after each watermark
-			// round fires its windows, the hook warms the plane's cache
-			// with the panes of the windows firing next, so their exact
-			// fallbacks (if any) read memory instead of S.
-			pf, hasPrefetch := mgr.(core.Prefetcher)
-			scratch := make([]tuple.Tuple, 0, tp.cfg.BatchSize)
-			var sinkBuf []sinkItem
-			flushSink := func() {
-				if len(sinkBuf) > 0 {
-					results <- sinkBuf
-					sinkBuf = nil
-				}
-			}
-			emit := func(rs []core.Result) {
-				if trace != nil {
-					for _, r := range rs {
-						if trace.SampleWindow(r.Start) {
-							trace.Record(obs.TraceEvent{
-								Kind: obs.TraceFire, Stage: tp.windowed.name, Worker: wi,
-								Ts: r.Start, WindowEnd: r.End,
-								Mode: r.Mode.String(), Spilled: r.FetchedFromStore,
-							})
-						}
-					}
-				}
-				for _, r := range rs {
-					sinkBuf = append(sinkBuf, sinkItem{worker: wi, res: r})
-				}
-				if len(sinkBuf) >= tp.cfg.BatchSize {
-					flushSink()
-				}
-			}
-			// ingest drains the pending tuple run through the manager.
-			// It runs before any control tuple is acted on (watermark,
-			// snapshot) so the manager observes exactly the per-tuple
-			// order.
-			ingest := func() {
-				if len(scratch) == 0 {
-					return
-				}
-				if trace != nil {
-					for _, t := range scratch {
-						if trace.SampleTs(t.Ts) {
-							trace.Record(obs.TraceEvent{
-								Kind: obs.TraceAssign, Stage: tp.windowed.name,
-								Worker: wi, Ts: t.Ts,
-							})
-						}
-					}
-				}
-				var rs []core.Result
-				var err error
-				if hasBatch {
-					rs, err = bm.OnTupleBatch(scratch)
-				} else {
-					rs, err = core.IngestBatch(mgr, scratch)
-				}
-				scratch = scratch[:0]
-				if err != nil {
-					failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
-					return
-				}
-				emit(rs)
-			}
-			// dead samples the failure flag once per batch (see the
-			// stateless stage): data after a failure drains for at most
-			// one batch before the worker goes quiet.
-			dead := false
-			process := func(msg Message) {
-				if dead {
-					return
-				}
-				if msg.IsWM {
-					// Every tuple routed before this watermark must
-					// reach the manager first.
-					ingest()
-					if failed.get() != nil {
-						return
-					}
-					if wm, adv := tracker.Update(msg.Sender, msg.WM); adv {
-						if wobs != nil {
-							// Once per watermark round, never per tuple.
-							wobs.SetWatermark(wm)
-						}
-						rs, err := mgr.OnWatermark(wm)
-						if err != nil {
-							failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
-							return
-						}
-						emit(rs)
-						if hasPrefetch {
-							pf.PrefetchWatermark(wm)
-						}
-					}
-					return
-				}
-				scratch = append(scratch, msg.Tuple)
-				if len(scratch) >= tp.cfg.BatchSize {
-					ingest()
-				}
-			}
-			for batch := range in {
-				dead = failed.get() != nil
-				if ins != nil {
-					// One lock-free histogram fold per received batch.
-					ins.Batches.Record(len(batch))
-				}
-				for _, msg := range batch {
-					if msg.IsBarrier && hooks != nil && hooks.BarrierSeen != nil {
-						if err := hooks.BarrierSeen(msg.Barrier, wi, msg.Sender); err != nil {
-							failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
-						}
-					}
-					if al == nil || (!al.Aligning() && !msg.IsBarrier) {
-						process(msg)
-						continue
-					}
-					events, err := al.Observe(msg)
-					if err != nil {
-						failed.set(fmt.Errorf("spe: %s[%d]: %w", tp.windowed.name, wi, err))
-						continue
-					}
-					for _, ev := range events {
-						if ev.snapshot {
-							// The snapshot must cover every pre-barrier
-							// tuple, including the ones still in the
-							// scratch run.
-							ingest()
-							if failed.get() != nil {
-								continue
-							}
-							if hooks.Snapshot != nil {
-								if err := hooks.Snapshot(ev.id, wi, mgr); err != nil {
-									failed.set(fmt.Errorf("spe: snapshot %d at %s[%d]: %w", ev.id, tp.windowed.name, wi, err))
-								}
-							}
-							continue
-						}
-						process(ev.msg)
-					}
-				}
-				pool.put(batch)
-			}
-			ingest()
-			flushSink()
-		}(wi, winIn[wi], mgr)
 	}
 
-	// Sink: fan-in arrives as []sinkItem batches.
+	// Sink: fan-in arrives as []SinkItem batches.
 	wgSink.Add(1)
 	go func() {
 		defer wgSink.Done()
-		for items := range results {
+		for items := range resultsIn {
 			for _, item := range items {
-				tp.sink(item.worker, item.res)
-				if trace != nil && trace.SampleWindow(item.res.Start) {
+				tp.sink(item.Worker, item.Res)
+				if trace != nil && trace.SampleWindow(item.Res.Start) {
 					trace.Record(obs.TraceEvent{
-						Kind: obs.TraceEmit, Stage: "sink", Worker: item.worker,
-						Ts: item.res.Start, WindowEnd: item.res.End,
-						Mode: item.res.Mode.String(),
+						Kind: obs.TraceEmit, Stage: "sink", Worker: item.Worker,
+						Ts: item.Res.Start, WindowEnd: item.Res.End,
+						Mode: item.Res.Mode.String(),
 					})
 				}
 			}
@@ -723,8 +611,15 @@ func (tp *Topology) Run() error {
 		wg.Wait()
 	}
 	wgWin.Wait()
-	close(results)
+	if results != nil {
+		close(results)
+	}
 	wgSink.Wait()
+	if tp.fabric != nil {
+		// The fabric's Results channel has closed (the sink returned);
+		// surface any transport or remote-shard failure it latched.
+		failed.set(tp.fabric.Err())
+	}
 	return failed.get()
 }
 

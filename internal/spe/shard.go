@@ -1,0 +1,152 @@
+package spe
+
+import (
+	"fmt"
+	"sync"
+
+	"spear/internal/core"
+	"spear/internal/obs"
+)
+
+// Shard describes the slice of a topology's windowed stage that one
+// remote node executes: global workers [Lo, Hi) of a stage with Par
+// total workers, fed by Senders upstream senders. The factory and
+// hooks are invoked with global worker indices, so per-worker seeds,
+// spill keys, and snapshot identities are exactly those of a
+// single-process run — the property the distributed identity tests
+// assert.
+type Shard struct {
+	Name      string
+	Lo, Hi    int // global windowed worker range [Lo, Hi)
+	Senders   int // upstream senders feeding the stage
+	BatchSize int // must equal the source topology's batch size
+	QueueSize int // input channel capacity, in batches
+	Factory   ManagerFactory
+	// Hooks carries the worker-side checkpoint protocol: Restore runs
+	// per worker before the loops start; Snapshot runs at each barrier
+	// alignment point (the distributed runtime persists the blob and
+	// acks the coordinator over the wire from inside it). nil disables
+	// barrier handling — only valid when the source never checkpoints.
+	Hooks *CheckpointHooks
+	Obs   *obs.Instruments
+}
+
+// ShardRun is a live shard: the transport feeds decoded batches into
+// In (one channel per local worker, In[i] serving global worker Lo+i)
+// and drains Results until it closes. Close every In channel at
+// stream end; Wait reports the first worker error after all loops
+// finish.
+type ShardRun struct {
+	In      []chan []Message
+	Results chan []SinkItem
+
+	lo     int
+	pool   *batchPool
+	failed errOnce
+	wg     sync.WaitGroup
+}
+
+// StartShard validates sh, builds and restores the shard's managers,
+// and starts one worker goroutine per global worker in [Lo, Hi).
+func StartShard(sh Shard) (*ShardRun, error) {
+	if sh.Lo < 0 || sh.Hi <= sh.Lo {
+		return nil, fmt.Errorf("spe: shard range [%d, %d)", sh.Lo, sh.Hi)
+	}
+	if sh.Senders <= 0 {
+		return nil, fmt.Errorf("spe: shard with %d senders", sh.Senders)
+	}
+	if sh.Factory == nil {
+		return nil, fmt.Errorf("spe: shard has no factory")
+	}
+	if sh.BatchSize <= 0 {
+		sh.BatchSize = defaultBatchSize
+	}
+	if sh.QueueSize <= 0 {
+		sh.QueueSize = 1024
+	}
+	n := sh.Hi - sh.Lo
+	// Build and restore every manager before starting any goroutine,
+	// mirroring Run: a factory or restore failure leaks nothing.
+	managers := make([]core.Manager, n)
+	for i := 0; i < n; i++ {
+		mgr, err := sh.Factory(sh.Lo + i)
+		if err != nil {
+			return nil, fmt.Errorf("spe: shard worker %d: %w", sh.Lo+i, err)
+		}
+		managers[i] = mgr
+	}
+	if sh.Hooks != nil && sh.Hooks.Restore != nil {
+		for i, mgr := range managers {
+			if err := sh.Hooks.Restore(sh.Lo+i, mgr); err != nil {
+				return nil, fmt.Errorf("spe: restore shard worker %d: %w", sh.Lo+i, err)
+			}
+		}
+	}
+
+	sr := &ShardRun{
+		In:      make([]chan []Message, n),
+		Results: make(chan []SinkItem, sh.QueueSize),
+		lo:      sh.Lo,
+		pool:    newBatchPool(sh.BatchSize),
+	}
+	for i := range sr.In {
+		sr.In[i] = make(chan []Message, sh.QueueSize)
+	}
+	ins := sh.Obs
+	if ins != nil {
+		for i, c := range sr.In {
+			c := c
+			ins.RegisterEdge(fmt.Sprintf("%s[%d]", sh.Name, sh.Lo+i), sh.QueueSize, func() int { return len(c) })
+		}
+		res := sr.Results
+		ins.RegisterSink(sh.QueueSize, func() int { return len(res) })
+	}
+	for i := 0; i < n; i++ {
+		var wobs *obs.WorkerObs
+		if ins != nil {
+			wobs = ins.RegisterWorker(fmt.Sprintf("%s[%d]", sh.Name, sh.Lo+i))
+		}
+		sr.wg.Add(1)
+		go func(i int, mgr core.Manager, wobs *obs.WorkerObs) {
+			defer sr.wg.Done()
+			runWinWorker(winWorkerCfg{
+				name:      sh.Name,
+				wi:        sh.Lo + i,
+				senders:   sh.Senders,
+				batchSize: sh.BatchSize,
+				hooks:     sh.Hooks,
+				mgr:       mgr,
+				in:        sr.In[i],
+				results:   sr.Results,
+				pool:      sr.pool,
+				failed:    &sr.failed,
+				ins:       ins,
+				wobs:      wobs,
+				trace:     nil, // lifecycle tracing is a source-node concern
+			})
+		}(i, managers[i], wobs)
+	}
+	// Close the result fan-in once every worker loop has drained, so
+	// the transport's result pump terminates.
+	go func() {
+		sr.wg.Wait()
+		close(sr.Results)
+	}()
+	return sr, nil
+}
+
+// NewBatch returns an empty recycled []Message buffer for the
+// transport's decoder to fill and push into an In channel.
+func (sr *ShardRun) NewBatch() []Message { return sr.pool.get() }
+
+// Fail latches err into the run (a transport failure); worker loops go
+// quiet and Wait reports it. The caller must still close the In
+// channels to unwind the loops.
+func (sr *ShardRun) Fail(err error) { sr.failed.set(err) }
+
+// Wait blocks until every worker loop has finished (all In channels
+// closed and drained) and returns the first error.
+func (sr *ShardRun) Wait() error {
+	sr.wg.Wait()
+	return sr.failed.get()
+}

@@ -1,0 +1,417 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spear/internal/obs"
+	"spear/internal/spe"
+	"spear/internal/tuple"
+)
+
+// FabricConfig configures the source side of the network shuffle.
+type FabricConfig struct {
+	// Nodes lists the shard node addresses. The windowed parallelism is
+	// split contiguously across them in order: node j hosts global
+	// workers [j*par/K, (j+1)*par/K).
+	Nodes []string
+	// TopoHash identifies the query structure; every node must agree.
+	TopoHash uint64
+	// RunID identifies this execution; reconnects carry it so a node
+	// can tell a re-attach from a foreign dial.
+	RunID uint64
+	// BatchSize is the engine's micro-batch size, forwarded so shards
+	// run the exact batching of the source process.
+	BatchSize int
+	// Checkpoint tells shards to expect barriers; RestoreID names the
+	// manifest every worker restores from (0 = fresh state).
+	Checkpoint bool
+	RestoreID  uint64
+	// Confirm receives each remote worker's checkpoint acknowledgment
+	// (wired to the coordinator's Confirm).
+	Confirm func(SnapAck) error
+	// Dialer opens connections; nil uses TCP with a timeout. Tests
+	// inject faults here.
+	Dialer Dialer
+	// Window is the credit window granted to each node; zero selects
+	// the default.
+	Window int
+	// CreditEvery overrides the credit cadence (zero derives it).
+	CreditEvery int
+	// MaxRedials caps reconnect attempts per outage; BackoffBase and
+	// BackoffMax shape the capped exponential backoff between them.
+	MaxRedials  int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DrainTimeout bounds the post-Goodbye wait for final credits.
+	DrainTimeout time.Duration
+	// Obs, when non-nil, gains per-node transport counters and edge
+	// probes for the outbox channels.
+	Obs *obs.Instruments
+}
+
+// Fabric is the engine-facing end of the shuffle: it implements
+// spe.Fabric by pumping the engine's outbox channels into per-node
+// reliable links and fanning remote results back into one channel.
+type Fabric struct {
+	cfg FabricConfig
+
+	mu      sync.Mutex
+	err     error
+	failing bool
+	resOpen bool
+	goodbye int // nodes that sent Goodbye
+
+	env     spe.FabricEnv
+	results chan []spe.SinkItem
+	nodes   []*fabricNode
+}
+
+// fabricNode is one shard node's share of the topology.
+type fabricNode struct {
+	f    *Fabric
+	addr string
+	lo   int
+	hi   int
+	lk   *link
+	wg   sync.WaitGroup // outbox pumps
+	bye  chan struct{}  // closed when the node's Goodbye arrives
+}
+
+// NewFabric returns an unopened fabric; install it with
+// spe.Topology.SetFabric and the engine calls Open.
+func NewFabric(cfg FabricConfig) *Fabric {
+	if cfg.Dialer == nil {
+		cfg.Dialer = NetDialer{}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = spe.DefaultBatchSize
+	}
+	if cfg.MaxRedials <= 0 {
+		cfg.MaxRedials = defaultRedials
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return &Fabric{cfg: cfg}
+}
+
+// Open implements spe.Fabric: dial every node, start the outbox pumps,
+// and return the channels the engine scatters into.
+func (f *Fabric) Open(par, senders, queueSize int, env spe.FabricEnv) ([]chan []spe.Message, error) {
+	k := len(f.cfg.Nodes)
+	if k == 0 {
+		return nil, fmt.Errorf("transport: fabric has no nodes")
+	}
+	if par < k {
+		return nil, fmt.Errorf("transport: parallelism %d below %d nodes", par, k)
+	}
+	f.env = env
+	f.results = make(chan []spe.SinkItem, queueSize)
+	f.resOpen = true
+
+	outs := make([]chan []spe.Message, par)
+	for w := range outs {
+		outs[w] = make(chan []spe.Message, queueSize)
+	}
+	if ins := f.cfg.Obs; ins != nil {
+		for w, c := range outs {
+			c := c
+			ins.RegisterEdge(fmt.Sprintf("shuffle[%d]", w), queueSize, func() int { return len(c) })
+		}
+	}
+
+	for j := 0; j < k; j++ {
+		n := &fabricNode{
+			f: f, addr: f.cfg.Nodes[j],
+			lo: j * par / k, hi: (j + 1) * par / k,
+			bye: make(chan struct{}),
+		}
+		var tobs *obs.TransportObs
+		if f.cfg.Obs != nil {
+			tobs = f.cfg.Obs.RegisterTransport(n.addr)
+		}
+		n.lk = newLink(n.addr, f.cfg.Window, f.cfg.CreditEvery, n, tobs)
+		n.lk.redial = func(epoch uint64) (net.Conn, uint64, error) {
+			return f.dial(n, epoch, senders, par, queueSize)
+		}
+		// Initial connect reuses the redial path (same handshake, same
+		// backoff) at epoch 1.
+		n.lk.epoch = 1
+		conn, peerAcked, err := n.lk.redial(1)
+		if err != nil {
+			// Unwind nodes already started: closing their outboxes ends
+			// their pumps, closing their links ends readers and credit
+			// senders. The engine never saw these channels.
+			for _, prev := range f.nodes {
+				for w := prev.lo; w < prev.hi; w++ {
+					close(outs[w])
+				}
+				prev.lk.close()
+			}
+			n.lk.close()
+			return nil, fmt.Errorf("transport: connect %s: %w", n.addr, err)
+		}
+		if gen := n.lk.adopt(conn, peerAcked); gen >= 0 {
+			n.lk.startReader(conn, gen)
+		}
+		f.nodes = append(f.nodes, n)
+
+		for w := n.lo; w < n.hi; w++ {
+			n.wg.Add(1)
+			go n.pump(w, outs[w])
+		}
+		go n.closer()
+	}
+	return outs, nil
+}
+
+// Results implements spe.Fabric.
+func (f *Fabric) Results() <-chan []spe.SinkItem { return f.results }
+
+// Err implements spe.Fabric.
+func (f *Fabric) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// dial opens and handshakes one connection to n, with capped backoff
+// across attempts. A Reject aborts immediately — it is never
+// transient.
+func (f *Fabric) dial(n *fabricNode, epoch uint64, senders, par, queueSize int) (net.Conn, uint64, error) {
+	hello := Hello{
+		Version: ProtocolVersion, TopoHash: f.cfg.TopoHash,
+		RunID: f.cfg.RunID, Epoch: epoch,
+		Lo: n.lo, Hi: n.hi, Par: par, Senders: senders,
+		BatchSize: f.cfg.BatchSize, QueueSize: queueSize,
+		Checkpoint: f.cfg.Checkpoint, RestoreID: f.cfg.RestoreID,
+		Acked: n.lk.delivered64(), Window: f.cfg.Window,
+	}
+	var lastErr error
+	for attempt := 0; attempt <= f.cfg.MaxRedials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoffFor(attempt-1, f.cfg.BackoffBase, f.cfg.BackoffMax))
+		}
+		if f.Err() != nil {
+			return nil, 0, fmt.Errorf("transport: fabric already failed")
+		}
+		conn, err := f.cfg.Dialer.Dial(n.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		w, err := shake(conn, hello)
+		if err != nil {
+			_ = conn.Close()
+			if _, fatal := err.(rejectError); fatal {
+				return nil, 0, err
+			}
+			lastErr = err
+			continue
+		}
+		return conn, w.Acked, nil
+	}
+	return nil, 0, fmt.Errorf("transport: %d attempts exhausted: %w", f.cfg.MaxRedials+1, lastErr)
+}
+
+// rejectError marks a handshake refusal that must not be retried.
+type rejectError struct{ reason string }
+
+func (e rejectError) Error() string { return "peer rejected handshake: " + e.reason }
+
+// shake performs the dialer's half of the handshake on conn.
+func shake(conn net.Conn, hello Hello) (Welcome, error) {
+	_ = conn.SetDeadline(time.Now().Add(helloTimeout))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+	if err := WriteFrame(conn, AppendHello(nil, hello)); err != nil {
+		return Welcome{}, err
+	}
+	body, err := ReadFrame(conn, nil)
+	if err != nil {
+		return Welcome{}, err
+	}
+	if len(body) > 0 && Kind(body[0]) == KindReject {
+		fr, err := DecodeFrame(body)
+		if err != nil {
+			return Welcome{}, err
+		}
+		return Welcome{}, rejectError{reason: fr.Reason}
+	}
+	w, err := DecodeWelcome(body)
+	if err != nil {
+		return Welcome{}, err
+	}
+	if w.Version != ProtocolVersion {
+		return Welcome{}, rejectError{reason: fmt.Sprintf("protocol version %d", w.Version)}
+	}
+	if w.TopoHash != hello.TopoHash {
+		return Welcome{}, rejectError{reason: "topology hash mismatch"}
+	}
+	return w, nil
+}
+
+// pump drains one destination worker's outbox onto the node's link:
+// contiguous data tuples become batch frames (the encode loop performs
+// no per-tuple work beyond the codec append), control messages become
+// their control frames, and the outbox closing becomes the worker's
+// End frame.
+func (n *fabricNode) pump(dest int, out <-chan []spe.Message) {
+	defer n.wg.Done()
+	scratch := make([]tupleRun, 0, 4)
+	ts := make([]tuple.Tuple, 0, n.f.cfg.BatchSize)
+	for batch := range out {
+		scratch = scratch[:0]
+		// Split the batch into runs: maximal spans of data tuples from
+		// one sender, and singleton control messages.
+		for i := 0; i < len(batch); {
+			m := batch[i]
+			if m.IsWM || m.IsBarrier {
+				scratch = append(scratch, tupleRun{control: &batch[i]})
+				i++
+				continue
+			}
+			j := i + 1
+			for j < len(batch) && !batch[j].IsWM && !batch[j].IsBarrier && batch[j].Sender == m.Sender {
+				j++
+			}
+			scratch = append(scratch, tupleRun{sender: m.Sender, msgs: batch[i:j]})
+			i = j
+		}
+		failed := false
+		for _, run := range scratch {
+			run := run
+			var err error
+			switch {
+			case run.control != nil && run.control.IsWM:
+				err = n.lk.sendSeq(func(dst []byte, seq uint64) []byte {
+					return AppendWatermark(dst, seq, dest, run.control.Sender, run.control.WM)
+				})
+			case run.control != nil:
+				err = n.lk.sendSeq(func(dst []byte, seq uint64) []byte {
+					return AppendBarrier(dst, seq, dest, run.control.Sender, run.control.Barrier)
+				})
+			default:
+				ts = ts[:0]
+				for i := range run.msgs {
+					ts = append(ts, run.msgs[i].Tuple)
+				}
+				err = n.lk.sendSeq(func(dst []byte, seq uint64) []byte {
+					return AppendBatch(dst, seq, dest, run.sender, ts)
+				})
+			}
+			if err != nil {
+				failed = true
+				break
+			}
+		}
+		if n.f.env.Recycle != nil {
+			n.f.env.Recycle(batch)
+		}
+		if failed {
+			// Link is terminally down; keep draining so the engine's
+			// close cascade can finish.
+			for b := range out {
+				if n.f.env.Recycle != nil {
+					n.f.env.Recycle(b)
+				}
+			}
+			return
+		}
+	}
+	_ = n.lk.sendSeq(func(dst []byte, seq uint64) []byte {
+		return AppendEnd(dst, seq, dest)
+	})
+}
+
+// tupleRun is one span of a batch: either a contiguous data run from
+// one sender or a single control message.
+type tupleRun struct {
+	sender  int
+	msgs    []spe.Message
+	control *spe.Message
+}
+
+// closer tears the node's link down once its pumps have finished and
+// its Goodbye arrived (or the link died), then counts the node done.
+func (n *fabricNode) closer() {
+	n.wg.Wait()
+	select {
+	case <-n.bye:
+		n.lk.awaitDrain(n.f.cfg.DrainTimeout)
+	case <-linkDead(n.lk):
+	}
+	n.lk.close()
+}
+
+// linkDead adapts "the link latched an error or closed" into a channel
+// for select. Polling keeps the link's cond-based core untouched; the
+// closer is far off any hot path.
+func linkDead(l *link) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		l.mu.Lock()
+		for l.err == nil && !l.closed {
+			l.cond.Wait()
+		}
+		l.mu.Unlock()
+		close(ch)
+	}()
+	return ch
+}
+
+// Frame implements linkHandler for one node: results fan into the
+// engine's sink, snapshot acknowledgments confirm to the coordinator,
+// Goodbye retires the node.
+func (n *fabricNode) Frame(fr Frame) error {
+	f := n.f
+	switch fr.Kind {
+	case KindResult:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if !f.resOpen {
+			return nil
+		}
+		f.results <- []spe.SinkItem{{Worker: fr.Worker, Res: fr.Result}}
+		return nil
+	case KindSnapAck:
+		if f.cfg.Confirm == nil {
+			return fmt.Errorf("snapshot ack without a coordinator")
+		}
+		return f.cfg.Confirm(fr.Snap)
+	case KindGoodbye:
+		close(n.bye)
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		f.goodbye++
+		if f.goodbye == len(f.nodes) && f.resOpen {
+			f.resOpen = false
+			close(f.results)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unexpected %s frame at source", fr.Kind)
+	}
+}
+
+// Fatal implements linkHandler: the first node failure fails the run
+// and releases the sink.
+func (n *fabricNode) Fatal(err error) {
+	f := n.f
+	f.mu.Lock()
+	already := f.failing
+	f.failing = true
+	if f.err == nil {
+		f.err = err
+	}
+	if f.resOpen {
+		f.resOpen = false
+		close(f.results)
+	}
+	f.mu.Unlock()
+	if !already && f.env.Fail != nil {
+		f.env.Fail(err)
+	}
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultDialer wraps a Dialer with deterministic fault injection for
+// the transport's recovery tests: refused dials, dial latency,
+// connections that cut themselves after a fixed number of frames, and
+// duplicated connections that die before the handshake (exercising the
+// listener's tolerance of garbage dials).
+type FaultDialer struct {
+	Inner Dialer // nil uses NetDialer{}
+
+	// FailFirst makes the first n Dial calls return an error.
+	FailFirst int
+	// Delay is added to every successful dial.
+	Delay time.Duration
+	// CutAfterWrites, when positive, closes each returned connection
+	// after that many Write calls complete — a mid-stream outage on the
+	// send path. Applies to each connection independently.
+	CutAfterWrites int
+	// CutAfterReads is the same for Read calls — an outage on the
+	// receive path.
+	CutAfterReads int
+	// CutOnce limits the cutting to the first returned connection, so
+	// a test injects exactly one outage and the reconnect proceeds
+	// cleanly.
+	CutOnce bool
+	// DoubleDial opens a second throwaway connection to the same
+	// address on every dial and closes it immediately, before any
+	// frame — the duplicate-connection fault the listener must shrug
+	// off.
+	DoubleDial bool
+
+	mu    sync.Mutex
+	dials int
+	cuts  int
+}
+
+// Dials reports how many Dial calls the fabric has made (including
+// failed ones) — tests assert reconnect counts with it.
+func (d *FaultDialer) Dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}
+
+// Dial implements Dialer.
+func (d *FaultDialer) Dial(addr string) (net.Conn, error) {
+	inner := d.Inner
+	if inner == nil {
+		inner = NetDialer{}
+	}
+	d.mu.Lock()
+	d.dials++
+	fail := d.dials <= d.FailFirst
+	cut := (d.CutAfterWrites > 0 || d.CutAfterReads > 0) && (!d.CutOnce || d.cuts == 0)
+	if cut {
+		d.cuts++
+	}
+	d.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("faultdialer: injected dial failure")
+	}
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.DoubleDial {
+		if extra, err := inner.Dial(addr); err == nil {
+			_ = extra.Close()
+		}
+	}
+	conn, err := inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if cut {
+		cc := &cutConn{Conn: conn}
+		cc.writesLeft.Store(budget(d.CutAfterWrites))
+		cc.readsLeft.Store(budget(d.CutAfterReads))
+		return cc, nil
+	}
+	return conn, nil
+}
+
+// budget maps a config count to a countdown start: unlimited (zero
+// config) starts negative so the decrement never reaches the cut
+// point.
+func budget(n int) int64 {
+	if n > 0 {
+		return int64(n)
+	}
+	return -1
+}
+
+// cutConn closes itself after a budget of reads or writes, simulating
+// a connection dropped mid-stream.
+type cutConn struct {
+	net.Conn
+	writesLeft atomic.Int64 // counts down; cut fires at exactly 0
+	readsLeft  atomic.Int64
+	dead       atomic.Bool
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, fmt.Errorf("faultdialer: connection cut")
+	}
+	n, err := c.Conn.Write(p)
+	if err == nil && c.writesLeft.Add(-1) == 0 {
+		c.dead.Store(true)
+		_ = c.Conn.Close()
+	}
+	return n, err
+}
+
+func (c *cutConn) Read(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, fmt.Errorf("faultdialer: connection cut")
+	}
+	n, err := c.Conn.Read(p)
+	if err == nil && c.readsLeft.Add(-1) == 0 {
+		c.dead.Store(true)
+		_ = c.Conn.Close()
+	}
+	return n, err
+}

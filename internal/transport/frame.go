@@ -1,0 +1,512 @@
+// Package transport is the distributed runtime's network shuffle: it
+// moves the engine's micro-batches — data tuples, watermarks, and
+// checkpoint barriers — between a source node (spout, stateless
+// stages, sink, checkpoint coordinator) and shard nodes hosting slices
+// of the windowed stage, over length-prefixed frames on TCP.
+//
+// Reliability is sliding-window: every payload frame carries a
+// sequence number per direction, receivers acknowledge cumulatively
+// with credit frames, and senders retain unacknowledged frames (the
+// retention bound doubles as the credit-based back-pressure window).
+// A reconnect replays exactly the unacknowledged suffix, so barrier
+// and watermark alignment commute with connection loss: each sender's
+// frame order is the per-channel order the engine produced, and the
+// receiver's duplicate filter makes redelivery idempotent.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"spear/internal/core"
+	"spear/internal/tuple"
+	"spear/internal/window"
+)
+
+// ProtocolVersion is checked during the handshake; peers with a
+// different version refuse the connection.
+const ProtocolVersion = 1
+
+// MaxFrame bounds one frame's body. Oversized (or zero) length
+// prefixes are rejected before any allocation, closing the
+// resource-exhaustion hole the tuple codec's fuzzing found in its
+// length fields.
+const MaxFrame = 8 << 20
+
+// ErrFrame reports a malformed frame at the transport layer.
+var ErrFrame = errors.New("transport: malformed frame")
+
+// Kind is a frame's type tag, the first body byte.
+type Kind uint8
+
+// Frame kinds. Hello/Welcome/Reject form the handshake; Batch,
+// Watermark, Barrier, End, Result, SnapAck, and Goodbye are sequenced
+// payload frames; Credit is the unsequenced cumulative acknowledgment.
+const (
+	KindHello Kind = iota + 1
+	KindWelcome
+	KindReject
+	KindBatch
+	KindWatermark
+	KindBarrier
+	KindEnd
+	KindCredit
+	KindResult
+	KindSnapAck
+	KindGoodbye
+)
+
+// String names the kind for errors.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindWelcome:
+		return "welcome"
+	case KindReject:
+		return "reject"
+	case KindBatch:
+		return "batch"
+	case KindWatermark:
+		return "watermark"
+	case KindBarrier:
+		return "barrier"
+	case KindEnd:
+		return "end"
+	case KindCredit:
+		return "credit"
+	case KindResult:
+		return "result"
+	case KindSnapAck:
+		return "snapack"
+	case KindGoodbye:
+		return "goodbye"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// WriteFrame writes body as one length-prefixed frame (uint32
+// little-endian length, then the body).
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) == 0 || len(body) > MaxFrame {
+		return fmt.Errorf("%w: body of %d bytes", ErrFrame, len(body))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame body into buf (reused when large enough)
+// and returns it. Length prefixes of zero or beyond MaxFrame are
+// rejected before any read or allocation.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("%w: length prefix %d", ErrFrame, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Hello is the dialer's opening frame: protocol identity plus the job
+// spec of the shard the connection feeds, and — on reconnect — the
+// cumulative sequence the dialer has delivered from the peer, so the
+// peer can drop acknowledged frames and replay the rest.
+type Hello struct {
+	Version  uint32
+	TopoHash uint64
+	RunID    uint64
+	Epoch    uint64 // connection attempt counter; newest epoch wins
+
+	// Job spec (identical on every epoch of a run).
+	Lo, Hi     int // global windowed worker range this node hosts
+	Par        int // total windowed parallelism across all nodes
+	Senders    int // upstream senders into the windowed stage
+	BatchSize  int
+	QueueSize  int
+	Checkpoint bool   // the source runs the checkpoint protocol
+	RestoreID  uint64 // manifest id to restore, 0 = fresh state
+
+	Acked  uint64 // last peer→dialer seq the dialer has delivered
+	Window int    // credit window the dialer grants the peer
+}
+
+// AppendHello encodes h as a frame body.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, byte(KindHello))
+	dst = tuple.AppendUvar(dst, uint64(h.Version))
+	dst = tuple.AppendU64(dst, h.TopoHash)
+	dst = tuple.AppendU64(dst, h.RunID)
+	dst = tuple.AppendUvar(dst, h.Epoch)
+	dst = tuple.AppendUvar(dst, uint64(h.Lo))
+	dst = tuple.AppendUvar(dst, uint64(h.Hi))
+	dst = tuple.AppendUvar(dst, uint64(h.Par))
+	dst = tuple.AppendUvar(dst, uint64(h.Senders))
+	dst = tuple.AppendUvar(dst, uint64(h.BatchSize))
+	dst = tuple.AppendUvar(dst, uint64(h.QueueSize))
+	dst = tuple.AppendBool(dst, h.Checkpoint)
+	dst = tuple.AppendU64(dst, h.RestoreID)
+	dst = tuple.AppendUvar(dst, h.Acked)
+	dst = tuple.AppendUvar(dst, uint64(h.Window))
+	return dst
+}
+
+// DecodeHello decodes a KindHello body.
+func DecodeHello(body []byte) (Hello, error) {
+	r, h := reader(body, KindHello), Hello{}
+	h.Version = uint32(r.Uvar())
+	h.TopoHash = r.U64()
+	h.RunID = r.U64()
+	h.Epoch = r.Uvar()
+	h.Lo = uvarInt(r)
+	h.Hi = uvarInt(r)
+	h.Par = uvarInt(r)
+	h.Senders = uvarInt(r)
+	h.BatchSize = uvarInt(r)
+	h.QueueSize = uvarInt(r)
+	h.Checkpoint = r.Bool()
+	h.RestoreID = r.U64()
+	h.Acked = r.Uvar()
+	h.Window = uvarInt(r)
+	if err := r.Done(); err != nil {
+		return Hello{}, fmt.Errorf("%w: hello: %v", ErrFrame, err)
+	}
+	if h.Lo < 0 || h.Hi <= h.Lo || h.Par < h.Hi || h.Senders <= 0 {
+		return Hello{}, fmt.Errorf("%w: hello shard [%d,%d) of %d, %d senders",
+			ErrFrame, h.Lo, h.Hi, h.Par, h.Senders)
+	}
+	return h, nil
+}
+
+// Welcome is the listener's handshake reply, mirroring identity and
+// carrying the listener's delivered sequence and credit grant.
+type Welcome struct {
+	Version  uint32
+	TopoHash uint64
+	Acked    uint64 // last dialer→listener seq the listener has delivered
+	Window   int    // credit window the listener grants the dialer
+}
+
+// AppendWelcome encodes w as a frame body.
+func AppendWelcome(dst []byte, w Welcome) []byte {
+	dst = append(dst, byte(KindWelcome))
+	dst = tuple.AppendUvar(dst, uint64(w.Version))
+	dst = tuple.AppendU64(dst, w.TopoHash)
+	dst = tuple.AppendUvar(dst, w.Acked)
+	dst = tuple.AppendUvar(dst, uint64(w.Window))
+	return dst
+}
+
+// DecodeWelcome decodes a KindWelcome body.
+func DecodeWelcome(body []byte) (Welcome, error) {
+	r, w := reader(body, KindWelcome), Welcome{}
+	w.Version = uint32(r.Uvar())
+	w.TopoHash = r.U64()
+	w.Acked = r.Uvar()
+	w.Window = uvarInt(r)
+	if err := r.Done(); err != nil {
+		return Welcome{}, fmt.Errorf("%w: welcome: %v", ErrFrame, err)
+	}
+	return w, nil
+}
+
+// AppendReject encodes a fatal handshake refusal (version or topology
+// mismatch, unknown run) that the dialer must not retry.
+func AppendReject(dst []byte, reason string) []byte {
+	dst = append(dst, byte(KindReject))
+	return tuple.AppendStr(dst, reason)
+}
+
+// SnapAck is a shard worker's checkpoint acknowledgment: the snapshot
+// blob for (ID, Worker) is durable in the shared store under Key with
+// the given size and checksum, and the listed deferred store deletions
+// became safe to execute once the checkpoint commits.
+type SnapAck struct {
+	ID       uint64
+	Worker   int
+	Key      string
+	Size     int64
+	Sum      uint64
+	Deferred []string
+}
+
+// Frame is one decoded payload frame. Kind selects which fields are
+// meaningful.
+type Frame struct {
+	Kind    Kind
+	Seq     uint64        // sequenced kinds; 0 for Credit
+	Dest    int           // Batch/Watermark/Barrier/End: global windowed worker
+	Sender  int           // Batch/Watermark/Barrier: upstream sender index
+	WM      int64         // Watermark
+	Barrier uint64        // Barrier: checkpoint id
+	Acked   uint64        // Credit: cumulative delivered seq
+	Worker  int           // Result: producing worker
+	Tuples  []tuple.Tuple // Batch
+	Result  core.Result   // Result
+	Snap    SnapAck       // SnapAck
+	Reason  string        // Reject
+}
+
+// AppendBatch encodes a data micro-batch frame. The tuple loop is the
+// transport send hot path and is lock-free by contract: it appends
+// into dst with the tuple codec and performs no other work per tuple
+// (spearlint's blockfree analyzer verifies no blocking operation is
+// reachable from here).
+func AppendBatch(dst []byte, seq uint64, dest, sender int, ts []tuple.Tuple) []byte {
+	dst = append(dst, byte(KindBatch))
+	dst = tuple.AppendUvar(dst, seq)
+	dst = tuple.AppendUvar(dst, uint64(dest))
+	dst = tuple.AppendUvar(dst, uint64(sender))
+	dst = tuple.AppendUvar(dst, uint64(len(ts)))
+	for i := range ts {
+		dst = tuple.AppendEncode(dst, ts[i])
+	}
+	return dst
+}
+
+// AppendWatermark encodes a watermark control frame.
+func AppendWatermark(dst []byte, seq uint64, dest, sender int, wm int64) []byte {
+	dst = append(dst, byte(KindWatermark))
+	dst = tuple.AppendUvar(dst, seq)
+	dst = tuple.AppendUvar(dst, uint64(dest))
+	dst = tuple.AppendUvar(dst, uint64(sender))
+	dst = tuple.AppendI64(dst, wm)
+	return dst
+}
+
+// AppendBarrier encodes a checkpoint barrier control frame.
+func AppendBarrier(dst []byte, seq uint64, dest, sender int, id uint64) []byte {
+	dst = append(dst, byte(KindBarrier))
+	dst = tuple.AppendUvar(dst, seq)
+	dst = tuple.AppendUvar(dst, uint64(dest))
+	dst = tuple.AppendUvar(dst, uint64(sender))
+	dst = tuple.AppendU64(dst, id)
+	return dst
+}
+
+// AppendEnd encodes the stream-end frame for one destination worker.
+func AppendEnd(dst []byte, seq uint64, dest int) []byte {
+	dst = append(dst, byte(KindEnd))
+	dst = tuple.AppendUvar(dst, seq)
+	dst = tuple.AppendUvar(dst, uint64(dest))
+	return dst
+}
+
+// AppendCredit encodes a cumulative acknowledgment (unsequenced).
+func AppendCredit(dst []byte, acked uint64) []byte {
+	dst = append(dst, byte(KindCredit))
+	return tuple.AppendUvar(dst, acked)
+}
+
+// AppendResult encodes one window result frame. Grouped values are
+// written in sorted key order so identical results yield identical
+// bytes (the identity tests compare decoded values, but deterministic
+// encoding keeps frame-level replay comparable too).
+func AppendResult(dst []byte, seq uint64, worker int, r core.Result) []byte {
+	dst = append(dst, byte(KindResult))
+	dst = tuple.AppendUvar(dst, seq)
+	dst = tuple.AppendUvar(dst, uint64(worker))
+	dst = tuple.AppendI64(dst, int64(r.WindowID))
+	dst = tuple.AppendI64(dst, r.Start)
+	dst = tuple.AppendI64(dst, r.End)
+	dst = tuple.AppendI64(dst, r.N)
+	dst = tuple.AppendUvar(dst, uint64(r.SampleN))
+	dst = append(dst, byte(r.Mode))
+	dst = tuple.AppendF64(dst, r.EstError)
+	dst = tuple.AppendBool(dst, r.FetchedFromStore)
+	dst = tuple.AppendF64(dst, r.Scalar)
+	if r.Groups == nil {
+		dst = tuple.AppendBool(dst, false)
+		return dst
+	}
+	dst = tuple.AppendBool(dst, true)
+	dst = tuple.AppendUvar(dst, uint64(len(r.Groups)))
+	for _, k := range sortedKeys(r.Groups) {
+		dst = tuple.AppendStr(dst, k)
+		dst = tuple.AppendF64(dst, r.Groups[k])
+	}
+	return dst
+}
+
+// AppendSnapAck encodes a checkpoint acknowledgment frame.
+func AppendSnapAck(dst []byte, seq uint64, a SnapAck) []byte {
+	dst = append(dst, byte(KindSnapAck))
+	dst = tuple.AppendUvar(dst, seq)
+	dst = tuple.AppendU64(dst, a.ID)
+	dst = tuple.AppendUvar(dst, uint64(a.Worker))
+	dst = tuple.AppendStr(dst, a.Key)
+	dst = tuple.AppendI64(dst, a.Size)
+	dst = tuple.AppendU64(dst, a.Sum)
+	dst = tuple.AppendUvar(dst, uint64(len(a.Deferred)))
+	for _, k := range a.Deferred {
+		dst = tuple.AppendStr(dst, k)
+	}
+	return dst
+}
+
+// AppendGoodbye encodes the shard-finished frame: every local worker
+// has drained and all results precede this frame in sequence.
+func AppendGoodbye(dst []byte, seq uint64) []byte {
+	dst = append(dst, byte(KindGoodbye))
+	return tuple.AppendUvar(dst, seq)
+}
+
+// DecodeFrame decodes one payload frame body (any kind except Hello
+// and Welcome, which have dedicated decoders). Every length and count
+// is bounds-checked against the remaining body, so truncated or
+// hostile inputs return ErrFrame without large allocations.
+func DecodeFrame(body []byte) (Frame, error) {
+	if len(body) == 0 {
+		return Frame{}, fmt.Errorf("%w: empty body", ErrFrame)
+	}
+	f := Frame{Kind: Kind(body[0])}
+	r := tuple.NewWireReader(body[1:])
+	switch f.Kind {
+	case KindBatch:
+		f.Seq = r.Uvar()
+		f.Dest = uvarInt(r)
+		f.Sender = uvarInt(r)
+		// A tuple is at least 9 bytes (8-byte Ts + empty-values
+		// uvarint); Count rejects counts the body cannot hold.
+		n := r.Count(9)
+		if err := r.Err(); err != nil {
+			return Frame{}, fmt.Errorf("%w: batch: %v", ErrFrame, err)
+		}
+		rest := body[len(body)-r.Remaining():]
+		ts := make([]tuple.Tuple, 0, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			t, used, err := tuple.Decode(rest[pos:])
+			if err != nil {
+				return Frame{}, fmt.Errorf("%w: batch tuple %d: %v", ErrFrame, i, err)
+			}
+			ts = append(ts, t)
+			pos += used
+		}
+		if pos != len(rest) {
+			return Frame{}, fmt.Errorf("%w: batch: %d trailing bytes", ErrFrame, len(rest)-pos)
+		}
+		f.Tuples = ts
+		return f, nil
+	case KindWatermark:
+		f.Seq = r.Uvar()
+		f.Dest = uvarInt(r)
+		f.Sender = uvarInt(r)
+		f.WM = r.I64()
+	case KindBarrier:
+		f.Seq = r.Uvar()
+		f.Dest = uvarInt(r)
+		f.Sender = uvarInt(r)
+		f.Barrier = r.U64()
+	case KindEnd:
+		f.Seq = r.Uvar()
+		f.Dest = uvarInt(r)
+	case KindCredit:
+		f.Acked = r.Uvar()
+	case KindResult:
+		f.Seq = r.Uvar()
+		f.Worker = uvarInt(r)
+		f.Result.WindowID = window.ID(r.I64())
+		f.Result.Start = r.I64()
+		f.Result.End = r.I64()
+		f.Result.N = r.I64()
+		f.Result.SampleN = uvarInt(r)
+		f.Result.Mode = core.Mode(r.Byte())
+		f.Result.EstError = r.F64()
+		f.Result.FetchedFromStore = r.Bool()
+		f.Result.Scalar = r.F64()
+		if r.Bool() {
+			n := r.Count(9) // key uvarint+value f64 ≥ 9 bytes per group
+			groups := make(map[string]float64, n)
+			for i := 0; i < n; i++ {
+				k := r.Str()
+				groups[k] = r.F64()
+			}
+			f.Result.Groups = groups
+		}
+	case KindSnapAck:
+		f.Seq = r.Uvar()
+		f.Snap.ID = r.U64()
+		f.Snap.Worker = uvarInt(r)
+		f.Snap.Key = r.Str()
+		f.Snap.Size = r.I64()
+		f.Snap.Sum = r.U64()
+		n := r.Count(1)
+		for i := 0; i < n; i++ {
+			f.Snap.Deferred = append(f.Snap.Deferred, r.Str())
+		}
+	case KindGoodbye:
+		f.Seq = r.Uvar()
+	case KindReject:
+		f.Reason = r.Str()
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown kind %d", ErrFrame, body[0])
+	}
+	if err := r.Done(); err != nil {
+		return Frame{}, fmt.Errorf("%w: %s: %v", ErrFrame, f.Kind, err)
+	}
+	return f, nil
+}
+
+// sequenced reports whether k carries a sequence number and therefore
+// participates in the sliding-window reliability protocol.
+func sequenced(k Kind) bool {
+	switch k {
+	case KindBatch, KindWatermark, KindBarrier, KindEnd, KindResult, KindSnapAck, KindGoodbye:
+		return true
+	}
+	return false
+}
+
+// reader wraps body (past the kind byte) after asserting the tag.
+func reader(body []byte, want Kind) *tuple.WireReader {
+	if len(body) == 0 || Kind(body[0]) != want {
+		// An empty reader latches an error on first read; callers
+		// surface it via Done.
+		return tuple.NewWireReader(nil)
+	}
+	return tuple.NewWireReader(body[1:])
+}
+
+// uvarInt reads a uvarint and narrows it to int, latching corruption
+// on overflow.
+func uvarInt(r *tuple.WireReader) int {
+	v := r.Uvar()
+	if v > uint64(int(^uint(0)>>1)) {
+		r.Corrupt("uvarint exceeds int")
+		return 0
+	}
+	return int(v)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	// Insertion sort: group maps are small and this avoids pulling
+	// sort into the encode path's dependency set.
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j] < ks[j-1]; j-- {
+			ks[j], ks[j-1] = ks[j-1], ks[j]
+		}
+	}
+	return ks
+}

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spear/internal/core"
+	"spear/internal/tuple"
+)
+
+// reencodeFrame re-encodes a decoded payload frame with the matching
+// Append function — the codec's canonical form. Shared by the
+// round-trip tests and the fuzzer's fixed-point check.
+func reencodeFrame(f Frame) []byte {
+	switch f.Kind {
+	case KindBatch:
+		return AppendBatch(nil, f.Seq, f.Dest, f.Sender, f.Tuples)
+	case KindWatermark:
+		return AppendWatermark(nil, f.Seq, f.Dest, f.Sender, f.WM)
+	case KindBarrier:
+		return AppendBarrier(nil, f.Seq, f.Dest, f.Sender, f.Barrier)
+	case KindEnd:
+		return AppendEnd(nil, f.Seq, f.Dest)
+	case KindCredit:
+		return AppendCredit(nil, f.Acked)
+	case KindResult:
+		return AppendResult(nil, f.Seq, f.Worker, f.Result)
+	case KindSnapAck:
+		return AppendSnapAck(nil, f.Seq, f.Snap)
+	case KindGoodbye:
+		return AppendGoodbye(nil, f.Seq)
+	case KindReject:
+		return AppendReject(nil, f.Reason)
+	}
+	return nil
+}
+
+// payloadFrameSeeds covers every payload kind with representative and
+// edge values (empty batches, NaN scalars, grouped results, deferred
+// deletions).
+func payloadFrameSeeds() [][]byte {
+	ts := []tuple.Tuple{
+		tuple.New(1, tuple.Int(-5), tuple.String_("k")),
+		tuple.New(2, tuple.Float(math.Pi)),
+	}
+	return [][]byte{
+		AppendBatch(nil, 1, 0, 0, nil),
+		AppendBatch(nil, 7, 3, 2, ts),
+		AppendWatermark(nil, 2, 1, 0, -42),
+		AppendWatermark(nil, 3, 0, 1, math.MaxInt64),
+		AppendBarrier(nil, 4, 2, 0, 9000),
+		AppendEnd(nil, 5, 1),
+		AppendCredit(nil, 0),
+		AppendCredit(nil, 1<<60),
+		AppendResult(nil, 6, 2, core.Result{
+			WindowID: 4, Start: 100, End: 200, N: 50, SampleN: 10,
+			Mode: core.ModeSampled, EstError: 0.05, Scalar: 3.25,
+		}),
+		AppendResult(nil, 7, 0, core.Result{
+			Start: -1, End: 0, N: 1, Mode: core.ModeExact,
+			Scalar: math.NaN(), FetchedFromStore: true,
+			Groups: map[string]float64{"b": 2, "a": 1, "": math.Inf(1)},
+		}),
+		AppendSnapAck(nil, 8, SnapAck{
+			ID: 3, Worker: 1, Key: "cp/3/w1", Size: 512, Sum: 0xdead,
+			Deferred: []string{"old/1", "old/2"},
+		}),
+		AppendGoodbye(nil, 9),
+		AppendReject(nil, "topology hash mismatch"),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for i, body := range payloadFrameSeeds() {
+		f, err := DecodeFrame(body)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", i, err)
+		}
+		enc := reencodeFrame(f)
+		if !bytes.Equal(enc, body) {
+			t.Errorf("seed %d (%s): re-encoding differs\n in: %x\nout: %x", i, f.Kind, body, enc)
+		}
+		f2, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("seed %d: re-decode: %v", i, err)
+		}
+		if f.Kind != KindResult && !reflect.DeepEqual(f, f2) {
+			// Result frames may hold NaN (DeepEqual-hostile); their
+			// byte-level fixed point above is the stronger check.
+			t.Errorf("seed %d (%s): round-trip mismatch\n in: %+v\nout: %+v", i, f.Kind, f, f2)
+		}
+	}
+}
+
+func TestHelloWelcomeRoundTrip(t *testing.T) {
+	h := Hello{
+		Version: ProtocolVersion, TopoHash: 0xfeed, RunID: 77, Epoch: 3,
+		Lo: 2, Hi: 4, Par: 8, Senders: 2, BatchSize: 64, QueueSize: 16,
+		Checkpoint: true, RestoreID: 5, Acked: 123, Window: 256,
+	}
+	h2, err := DecodeHello(AppendHello(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("hello round-trip:\n in: %+v\nout: %+v", h, h2)
+	}
+	w := Welcome{Version: ProtocolVersion, TopoHash: 0xfeed, Acked: 9, Window: 128}
+	w2, err := DecodeWelcome(AppendWelcome(nil, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 != w {
+		t.Errorf("welcome round-trip:\n in: %+v\nout: %+v", w, w2)
+	}
+}
+
+func TestDecodeHelloRejectsBadShard(t *testing.T) {
+	for _, h := range []Hello{
+		{Lo: -1, Hi: 1, Par: 2, Senders: 1},
+		{Lo: 1, Hi: 1, Par: 2, Senders: 1}, // empty range
+		{Lo: 0, Hi: 4, Par: 2, Senders: 1}, // range beyond par
+		{Lo: 0, Hi: 1, Par: 1, Senders: 0}, // no senders
+	} {
+		if _, err := DecodeHello(AppendHello(nil, h)); err == nil {
+			t.Errorf("DecodeHello accepted invalid shard spec %+v", h)
+		}
+	}
+}
+
+func TestWriteFrameBounds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, nil); err == nil {
+		t.Error("WriteFrame accepted an empty body")
+	}
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("WriteFrame accepted an oversized body")
+	}
+}
+
+func TestReadFrameHardening(t *testing.T) {
+	frame := func(n uint32, body []byte) []byte {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], n)
+		return append(hdr[:], body...)
+	}
+	cases := map[string][]byte{
+		"zero length":      frame(0, nil),
+		"oversized length": frame(MaxFrame+1, nil),
+		"max length":       frame(math.MaxUint32, nil),
+		"truncated header": {0x01, 0x00},
+		"truncated body":   frame(10, []byte("short")),
+	}
+	for name, in := range cases {
+		if _, err := ReadFrame(bytes.NewReader(in), nil); err == nil {
+			t.Errorf("%s: ReadFrame accepted it", name)
+		}
+	}
+	// An oversized prefix must be rejected before the body allocation:
+	// reading it from a huge stream must not consume the declared size.
+	r := bytes.NewReader(frame(MaxFrame+1, make([]byte, 64)))
+	if _, err := ReadFrame(r, nil); err == nil || r.Len() != 64 {
+		t.Errorf("oversized prefix: err=%v, consumed body bytes (%d left)", err, r.Len())
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("hello frame")
+	if err := WriteFrame(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]byte, 0, 64)
+	got, err := ReadFrame(&buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("got %q, want %q", got, body)
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Error("ReadFrame allocated despite a large-enough buffer")
+	}
+}
+
+func TestDecodeFrameHardening(t *testing.T) {
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("DecodeFrame accepted an empty body")
+	}
+	if _, err := DecodeFrame([]byte{0xEE, 1, 2, 3}); err == nil {
+		t.Error("DecodeFrame accepted an unknown kind")
+	}
+	// Every truncation of every valid frame must error, never panic.
+	for i, body := range payloadFrameSeeds() {
+		for cut := 0; cut < len(body); cut++ {
+			if _, err := DecodeFrame(body[:cut]); err == nil {
+				// A shorter valid frame is conceivable only if the
+				// re-encoding matches; none of the seeds has one.
+				t.Errorf("seed %d truncated to %d bytes decoded cleanly", i, cut)
+			}
+		}
+		// Trailing garbage must be rejected (Done checks exact use).
+		if _, err := DecodeFrame(append(append([]byte{}, body...), 0x00)); err == nil {
+			t.Errorf("seed %d with a trailing byte decoded cleanly", i)
+		}
+	}
+	// A batch declaring more tuples than the body can hold must fail
+	// before allocating the declared count.
+	huge := []byte{byte(KindBatch), 1, 0, 0}
+	huge = tuple.AppendUvar(huge, 1<<40)
+	if _, err := DecodeFrame(huge); err == nil || !strings.Contains(err.Error(), "batch") {
+		t.Errorf("huge tuple count: %v", err)
+	}
+}

@@ -1,0 +1,441 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spear/internal/obs"
+	"spear/internal/spe"
+)
+
+// JobSpec is the shard assignment a source's Hello carries: which
+// global workers this node hosts, the topology shape the shard must
+// mirror for bit-identical execution, and the checkpoint posture.
+type JobSpec struct {
+	Lo, Hi     int // global windowed worker range [Lo, Hi)
+	Par        int // total windowed parallelism
+	Senders    int // upstream senders into the windowed stage
+	BatchSize  int
+	QueueSize  int
+	Checkpoint bool
+	RestoreID  uint64 // manifest to restore from, 0 = fresh
+}
+
+// ServerConfig configures one shard node's serving side.
+type ServerConfig struct {
+	// TopoHash must match the dialer's or the handshake is rejected:
+	// both processes must be built from the same query definition.
+	TopoHash uint64
+	// Window is the credit window granted to the source (frames it may
+	// have outstanding toward this node). Zero selects the default.
+	Window int
+	// CreditEvery overrides the credit cadence; zero derives it from
+	// the window.
+	CreditEvery int
+	// HelloTimeout bounds how long an accepted connection may sit
+	// silent before its handshake; such connections are dropped without
+	// affecting the run (a fault-injected duplicate dial looks exactly
+	// like this).
+	HelloTimeout time.Duration
+	// PeerWait bounds how long the node keeps a wounded run alive
+	// waiting for the source to reconnect; on expiry the run fails.
+	PeerWait time.Duration
+	// DrainTimeout bounds the wait for the source to acknowledge the
+	// final result frames before Serve returns.
+	DrainTimeout time.Duration
+	// Start builds the shard when the first valid Hello arrives. ack
+	// sends a checkpoint acknowledgment frame back to the coordinator;
+	// the shard's snapshot hook calls it after persisting its blob.
+	Start func(spec JobSpec, ack func(SnapAck) error) (*spe.ShardRun, error)
+	// Obs, when non-nil, receives the link's wire counters.
+	Obs *obs.TransportObs
+}
+
+// Server runs one shard node: it accepts the source's connection,
+// starts the shard the Hello describes, feeds decoded frames into the
+// shard's workers, and streams results back. One Server hosts one run;
+// reconnects re-attach to the same shard.
+type Server struct {
+	lis net.Listener
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	lk       *link
+	run      *spe.ShardRun
+	spec     JobSpec
+	runID    uint64
+	epoch    uint64
+	inClosed []bool
+	failing  bool
+	finished bool
+
+	// abort wakes a deliver parked on a full worker queue when the run
+	// fails; delivering counts parked/in-flight sends so Fatal can wait
+	// them out before closing the input channels.
+	abort      chan struct{}
+	delivering sync.WaitGroup
+
+	done    chan struct{}
+	doneErr error
+	once    sync.Once
+}
+
+// NewServer wraps lis; Serve runs the node.
+func NewServer(lis net.Listener, cfg ServerConfig) *Server {
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = helloTimeout
+	}
+	if cfg.PeerWait <= 0 {
+		cfg.PeerWait = defaultPeerWait
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	return &Server{lis: lis, cfg: cfg, abort: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Serve accepts connections until the shard's run completes (all
+// workers drained and results acknowledged) or fails, and returns the
+// run's error. It owns the listener and closes it on return.
+func (s *Server) Serve() error {
+	go s.acceptLoop()
+	<-s.done
+	_ = s.lis.Close()
+	s.mu.Lock()
+	lk := s.lk
+	s.mu.Unlock()
+	if lk != nil {
+		lk.close()
+	}
+	return s.doneErr
+}
+
+func (s *Server) finish(err error) {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.finished = true
+		s.mu.Unlock()
+		s.doneErr = err
+		close(s.done)
+	})
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+			default:
+				s.finish(fmt.Errorf("transport: accept: %w", err))
+			}
+			return
+		}
+		go s.handshake(conn)
+	}
+}
+
+// handshake reads and validates one connection's Hello. Connections
+// that die or stay silent before a valid Hello are dropped without
+// touching the run — a duplicated or probed dial is indistinguishable
+// from them.
+func (s *Server) handshake(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.HelloTimeout))
+	body, err := ReadFrame(conn, nil)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	h, err := DecodeHello(body)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if h.Version != ProtocolVersion {
+		s.reject(conn, fmt.Sprintf("protocol version %d, want %d", h.Version, ProtocolVersion))
+		return
+	}
+	if h.TopoHash != s.cfg.TopoHash {
+		s.reject(conn, "topology hash mismatch: processes built from different queries")
+		return
+	}
+
+	s.mu.Lock()
+	if s.finished || s.failing {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if s.lk == nil {
+		// First Hello: the job spec is authoritative, start the shard.
+		spec := JobSpec{
+			Lo: h.Lo, Hi: h.Hi, Par: h.Par, Senders: h.Senders,
+			BatchSize: h.BatchSize, QueueSize: h.QueueSize,
+			Checkpoint: h.Checkpoint, RestoreID: h.RestoreID,
+		}
+		lk := newLink("source", h.Window, s.cfg.CreditEvery, s, s.cfg.Obs)
+		s.lk = lk
+		s.spec = spec
+		s.runID = h.RunID
+		s.epoch = h.Epoch
+		s.mu.Unlock()
+
+		run, err := s.cfg.Start(spec, s.ack)
+		if err != nil {
+			s.reject(conn, err.Error())
+			s.finish(err)
+			return
+		}
+		s.mu.Lock()
+		s.run = run
+		s.inClosed = make([]bool, len(run.In))
+		s.mu.Unlock()
+
+		s.attach(conn, h, lk)
+		go s.resultPump(run, lk)
+		go s.watchdog(lk)
+		return
+	}
+	// Reconnect: same run, strictly newer epoch re-attaches; anything
+	// else is a stale or foreign dial.
+	if h.RunID != s.runID {
+		s.mu.Unlock()
+		s.reject(conn, "node is serving a different run")
+		return
+	}
+	if h.Epoch <= s.epoch {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	s.epoch = h.Epoch
+	lk := s.lk
+	s.mu.Unlock()
+	s.attach(conn, h, lk)
+}
+
+// attach completes the handshake on conn and adopts it into the link:
+// Welcome first (the dialer reads it synchronously), then adoption,
+// which prunes acknowledged frames and retransmits the rest.
+func (s *Server) attach(conn net.Conn, h Hello, lk *link) {
+	w := Welcome{
+		Version: ProtocolVersion, TopoHash: s.cfg.TopoHash,
+		Acked: lk.delivered64(), Window: s.cfg.Window,
+	}
+	if err := WriteFrame(conn, AppendWelcome(nil, w)); err != nil {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if gen := lk.adopt(conn, h.Acked); gen >= 0 {
+		lk.startReader(conn, gen)
+	}
+}
+
+func (s *Server) reject(conn net.Conn, reason string) {
+	_ = WriteFrame(conn, AppendReject(nil, reason))
+	_ = conn.Close()
+}
+
+// ack sends one checkpoint acknowledgment; the shard's snapshot hook
+// calls it from a worker goroutine after the blob is durable.
+func (s *Server) ack(a SnapAck) error {
+	s.mu.Lock()
+	lk := s.lk
+	s.mu.Unlock()
+	if lk == nil {
+		return fmt.Errorf("transport: snapshot ack before handshake")
+	}
+	return lk.sendSeq(func(dst []byte, seq uint64) []byte {
+		return AppendSnapAck(dst, seq, a)
+	})
+}
+
+// resultPump streams the shard's results to the source in worker-batch
+// order, then finishes the run: Goodbye on success (after all result
+// frames are acknowledged), a Reject report on failure.
+func (s *Server) resultPump(run *spe.ShardRun, lk *link) {
+	for batch := range run.Results {
+		for _, item := range batch {
+			item := item
+			err := lk.sendSeq(func(dst []byte, seq uint64) []byte {
+				return AppendResult(dst, seq, item.Worker, item.Res)
+			})
+			if err != nil {
+				break // link is down for good; drain the rest
+			}
+		}
+	}
+	err := run.Wait()
+	if err == nil {
+		err = lk.lastErr()
+	}
+	if err != nil {
+		lk.sendUnseq(AppendReject(nil, err.Error()))
+		s.finish(err)
+		return
+	}
+	if serr := lk.sendSeq(func(dst []byte, seq uint64) []byte {
+		return AppendGoodbye(dst, seq)
+	}); serr != nil {
+		s.finish(serr)
+		return
+	}
+	lk.awaitDrain(s.cfg.DrainTimeout)
+	s.finish(nil)
+}
+
+// watchdog fails the run when the source stays disconnected past
+// PeerWait — the lame-duck bound that lets a node exit after the
+// source dies instead of holding state forever.
+func (s *Server) watchdog(lk *link) {
+	period := s.cfg.PeerWait / 8
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	var downSince time.Time
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+		if lk.lastErr() != nil {
+			return
+		}
+		if lk.connected() {
+			downSince = time.Time{}
+			continue
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+			continue
+		}
+		if time.Since(downSince) >= s.cfg.PeerWait {
+			lk.fatal(fmt.Errorf("transport: source disconnected for %v, abandoning run", s.cfg.PeerWait))
+			return
+		}
+	}
+}
+
+// Frame implements linkHandler: decoded source frames become engine
+// messages on the shard's input channels. Delivery blocks when a
+// worker's queue is full — that stalls this link's reads and dries the
+// source's credits, which is the cross-wire back-pressure path.
+func (s *Server) Frame(f Frame) error {
+	switch f.Kind {
+	case KindBatch:
+		if len(f.Tuples) == 0 {
+			return fmt.Errorf("empty batch frame")
+		}
+		li, err := s.localIndex(f.Dest)
+		if err != nil {
+			return err
+		}
+		batch := s.run.NewBatch()
+		for _, t := range f.Tuples {
+			batch = append(batch, spe.Message{Tuple: t, Sender: f.Sender})
+		}
+		return s.deliver(li, batch)
+	case KindWatermark:
+		li, err := s.localIndex(f.Dest)
+		if err != nil {
+			return err
+		}
+		b := s.run.NewBatch()
+		b = append(b, spe.Message{IsWM: true, WM: f.WM, Sender: f.Sender})
+		return s.deliver(li, b)
+	case KindBarrier:
+		li, err := s.localIndex(f.Dest)
+		if err != nil {
+			return err
+		}
+		b := s.run.NewBatch()
+		b = append(b, spe.Message{IsBarrier: true, Barrier: f.Barrier, Sender: f.Sender})
+		return s.deliver(li, b)
+	case KindEnd:
+		li, err := s.localIndex(f.Dest)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if !s.inClosed[li] {
+			close(s.run.In[li])
+			s.inClosed[li] = true
+		}
+		s.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("unexpected %s frame at shard node", f.Kind)
+	}
+}
+
+func (s *Server) localIndex(dest int) (int, error) {
+	li := dest - s.spec.Lo
+	if li < 0 || li >= len(s.run.In) {
+		return 0, fmt.Errorf("frame for worker %d outside shard [%d, %d)", dest, s.spec.Lo, s.spec.Hi)
+	}
+	return li, nil
+}
+
+// deliver pushes one batch into a worker's input. The send parks
+// OUTSIDE s.mu: a worker mid-snapshot calls ack (which takes s.mu)
+// before it returns to its queue, so holding the lock across a full
+// queue would deadlock the node. Close safety comes from the
+// delivering count instead — Fatal aborts parked sends and waits for
+// them before closing any channel, and End frames share the reader
+// goroutine with deliver, so those never overlap a send.
+func (s *Server) deliver(li int, batch []spe.Message) error {
+	s.mu.Lock()
+	if s.failing || s.finished {
+		s.mu.Unlock()
+		return nil // run is unwinding; drop quietly
+	}
+	if s.inClosed[li] {
+		s.mu.Unlock()
+		return fmt.Errorf("frame for ended worker %d", s.spec.Lo+li)
+	}
+	ch := s.run.In[li]
+	s.delivering.Add(1)
+	s.mu.Unlock()
+	defer s.delivering.Done()
+	select {
+	case ch <- batch:
+	case <-s.abort:
+	}
+	return nil
+}
+
+// Fatal implements linkHandler: a dead link fails the run, wakes any
+// parked deliver, and closes the remaining inputs so the worker loops
+// unwind; the result pump then observes the error and finishes Serve.
+func (s *Server) Fatal(err error) {
+	s.mu.Lock()
+	if s.failing || s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.failing = true
+	run := s.run
+	s.mu.Unlock()
+	close(s.abort)
+	if run == nil {
+		return
+	}
+	run.Fail(err)
+	// No new sends start (failing is set) and parked ones drop out via
+	// abort; once they do, closing the channels cannot race a send.
+	s.delivering.Wait()
+	s.mu.Lock()
+	for i, closed := range s.inClosed {
+		if !closed {
+			close(run.In[i])
+			s.inClosed[i] = true
+		}
+	}
+	s.mu.Unlock()
+}

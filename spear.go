@@ -35,8 +35,8 @@ import (
 	"spear/internal/obs"
 	"spear/internal/sample"
 	"spear/internal/spe"
-	"spear/internal/spill"
 	"spear/internal/storage"
+	"spear/internal/transport"
 	"spear/internal/tuple"
 	"spear/internal/window"
 )
@@ -200,6 +200,16 @@ type Query struct {
 	traceEvery int
 	traceCap   int
 	obsStarted func(addr string)
+
+	// Distributed runtime (Distribute / ServeShard).
+	workers           []string
+	runID             uint64
+	transportDialer   transport.Dialer
+	transportRedials  int
+	transportBackoff  time.Duration
+	transportBackMax  time.Duration
+	transportPeerWait time.Duration
+	transportWindow   int
 }
 
 // NewQuery starts a query named name (used in telemetry and errors).
@@ -705,40 +715,9 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	if sink == nil {
 		return Summary{}, fmt.Errorf("spear: %s: nil sink", q.name)
 	}
-	if q.budgetTuples == 0 {
-		// A sensible default: enough for a 10%/95% quantile per the
-		// Hoeffding bound, with headroom.
-		q.budgetTuples = 1000
-	}
-	store := q.store
-	if store == nil {
-		store = storage.NewMemStore()
-	}
-
-	// Assemble the spill I/O plane the managers will talk to: the user's
-	// store, optionally behind the compressed chunk codec, behind the
-	// async write-behind/prefetch plane (a transparent synchronous
-	// passthrough when SpillWorkers is 0). The checkpoint coordinator
-	// deliberately keeps the raw store: its manifest write is the commit
-	// point and must stay synchronous, while spilled-state durability is
-	// enforced by the plane's barrier inside each snapshot.
-	planeInner := store
-	if q.spillCompression > 0 {
-		cs, err := spill.NewCodecStore(store, q.spillCompression)
-		if err != nil {
-			return Summary{}, fmt.Errorf("spear: %s: %w", q.name, err)
-		}
-		planeInner = cs
-	}
-	plane := spill.NewPlane(planeInner, spill.Options{
-		Workers:    q.spillWorkers,
-		QueueBytes: q.spillQueueBytes,
-		CacheBytes: q.spillCacheBytes,
-	})
-
-	reg := q.registry
-	if reg == nil {
-		reg = metrics.NewRegistry()
+	store, plane, reg, err := q.assembleRuntime()
+	if err != nil {
+		return Summary{}, err
 	}
 
 	ckptEnabled := q.ckptTuples > 0 || q.ckptInterval > 0 || q.ckptRecover
@@ -768,40 +747,7 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 		}
 	}
 
-	factory := func(wi int) (core.Manager, error) {
-		cfg := core.Config{
-			Spec:               q.spec,
-			Agg:                q.aggFunc,
-			Custom:             q.custom,
-			Value:              q.value,
-			KeyBy:              q.keyBy,
-			Epsilon:            q.epsilon,
-			Confidence:         q.confidence,
-			BudgetTuples:       q.budgetTuples,
-			KnownGroups:        q.knownGroups,
-			Store:              plane,
-			Key:                fmt.Sprintf("%s/%s/%d", q.name, q.backend, wi),
-			SpillAhead:         q.spillAhead,
-			Seed:               sample.DeriveSeed(q.seed, int64(wi)),
-			DisableIncremental: q.disableIncremental,
-			ScalarEstimator:    q.scalarEst,
-			GroupedEstimator:   q.groupedEst,
-			Metrics:            reg.Worker(fmt.Sprintf("%s[%d]", q.name, wi)),
-			Budget:             q.budgetPolicy,
-			DeferStoreDeletes:  ckptEnabled,
-		}
-		switch q.backend {
-		case BackendExact:
-			return core.NewExactManager(cfg, q.exactBufferBytes)
-		case BackendIncremental:
-			return core.NewIncrementalManager(cfg)
-		default:
-			if q.keyBy != nil {
-				return core.NewGroupedManager(cfg)
-			}
-			return core.NewScalarManager(cfg)
-		}
-	}
+	factory := q.managerFactory(plane, reg, ckptEnabled)
 
 	wmPeriod := int64(q.wmPeriod)
 	if wmPeriod == 0 && q.spec.Domain == window.TimeDomain {
@@ -811,8 +757,9 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 		wmPeriod = 0 // count windows close on arrival
 	}
 	var hooks *spe.CheckpointHooks
+	var coord *checkpoint.Coordinator
 	if ckptEnabled {
-		coord, err := checkpoint.NewCoordinator(checkpoint.Config{
+		coord, err = checkpoint.NewCoordinator(checkpoint.Config{
 			Store:       store,
 			Namespace:   q.name + "/ckpt",
 			Workers:     q.parallelism,
@@ -832,9 +779,10 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	}
 
 	fieldsSeed := int64(0)
-	if ckptEnabled {
-		// Group→worker routing must survive restarts; derive a
-		// deterministic partitioner seed from the query seed.
+	if ckptEnabled || len(q.workers) > 0 {
+		// Group→worker routing must survive restarts and must agree
+		// across processes; derive a deterministic partitioner seed from
+		// the query seed.
 		fieldsSeed = sample.DeriveSeed(q.seed, -1)
 		if fieldsSeed == 0 {
 			fieldsSeed = 1
@@ -854,6 +802,9 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	}
 	tp.SetWindowed(q.name, q.parallelism, q.keyBy, factory)
 	tp.SetSink(func(worker int, r core.Result) { sink(worker, r) })
+	if len(q.workers) > 0 {
+		tp.SetFabric(q.newFabric(coord, ins))
+	}
 
 	// Start the reporter (and the opt-in HTTP server) before the first
 	// tuple flows, so a scraper sees the full family schema from the
