@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill bench-shuffle e2e-dist
+.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill bench-shuffle bench-columnar e2e-dist
 
 check: build vet lint lint-ssa race recovery obs
 
@@ -66,9 +66,11 @@ obs-scrape:
 # Short fuzz smoke for the binary codecs beyond their checked-in
 # corpora: the tuple spill codec, the checkpoint snapshot codecs
 # (manifest, sampling state, manager restore), the compressed spill
-# chunk codec, and the transport frame codec.
+# chunk codec, the transport frame codec, and the row↔column batch
+# conversion.
 fuzz:
 	$(GO) test ./internal/tuple -run='^$$' -fuzz=FuzzTupleCodec -fuzztime=10s
+	$(GO) test ./internal/col -run='^$$' -fuzz=FuzzColumnBatch -fuzztime=10s
 	$(GO) test ./internal/checkpoint -run='^$$' -fuzz=FuzzManifestCodec -fuzztime=10s
 	$(GO) test ./internal/sample -run='^$$' -fuzz=FuzzSampleRestore -fuzztime=10s
 	$(GO) test ./internal/core -run='^$$' -fuzz=FuzzManagerRestore -fuzztime=10s
@@ -94,6 +96,14 @@ bench-checkpoint:
 bench-pipeline:
 	$(GO) test -run '^$$' -bench BenchmarkPipeline -benchmem ./internal/spe/
 	$(GO) run ./cmd/spear-bench -experiment pipeline -benchjson BENCH_pipeline.json
+
+# Columnar execution: typed column batches + operator fusion vs the row
+# batch path at par 1/4/8 on an aggregate-heavy map→filter→mean
+# pipeline, writing BENCH_columnar.json (acceptance: columnar ≥2x row
+# throughput at par 4; results identical — values and Mode — verified
+# in-run per configuration).
+bench-columnar:
+	$(GO) run ./cmd/spear-bench -experiment columnar -benchjson BENCH_columnar.json
 
 # Network shuffle: the TCP transport fabric vs the in-process channel
 # fabric at par 1/4, writing BENCH_shuffle.json (acceptance: TCP rows

@@ -74,6 +74,16 @@ var transportSendScope = []string{
 //     would allocate once). Slices of unknown provenance — fields,
 //     parameters, aliases — stay quiet: the check is a tripwire for
 //     the local regression, not an escape analysis.
+//   - Inside OnColumnBatch loops (the columnar ingest kernels — loops
+//     found anywhere in the body, including inside function literals,
+//     because the window-run visit closures run synchronously): all of
+//     the above, plus the row-format regressions the columnar lane
+//     exists to eliminate — tuple.Value boxing (tuple.Float/Int/
+//     String_/Bool/New constructor calls), per-row Value accessor
+//     calls (.AsFloat/.AsInt/.AsString/.AsBool), per-row interface
+//     conversions (type assertions), and indexing back into a tuple's
+//     Vals row storage. A kernel loop reads the typed column slices;
+//     per-batch eligibility gates may box and unbox freely.
 //
 // spe reachability is intraprocedural with one hop of package-local
 // call resolution: the seed set is every goroutine literal in
@@ -471,6 +481,15 @@ func chainContains(e ast.Expr, name string) bool {
 // OnTupleBatch loops additionally get the allocation-churn scan:
 // per-batch setup may format, concatenate, and allocate freely; the
 // per-tuple loop body may not.
+//
+// OnColumnBatch — the columnar ingest kernels — gets the strictest
+// treatment: its loops are collected from the whole body INCLUDING
+// function literals, because the kernels hand per-run visit closures
+// to window.Spec.EachRun and those run synchronously on the ingest
+// path. Each kernel loop gets the mutex/metric and allocation-churn
+// scans plus the row-format scan (boxing, accessors, assertions, Vals
+// indexing): a kernel that reaches back into row representation per
+// element has silently lost the point of the columnar lane.
 func runHotManagers(p *Pkg) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
@@ -487,7 +506,7 @@ func runHotManagers(p *Pkg) []Finding {
 				fmtAlias := importAlias(f, "fmt")
 				scanLoop := func(body *ast.BlockStmt) {
 					out = append(out, scanMutexMetric(p, body, "an OnTupleBatch per-tuple loop")...)
-					out = append(out, scanBatchAllocs(p, body, fmtAlias, growing)...)
+					out = append(out, scanBatchAllocs(p, body, fmtAlias, growing, "an OnTupleBatch per-tuple loop")...)
 				}
 				ast.Inspect(fd.Body, func(n ast.Node) bool {
 					switch n := n.(type) {
@@ -502,9 +521,91 @@ func runHotManagers(p *Pkg) []Finding {
 					}
 					return true
 				})
+			case "OnColumnBatch":
+				growing := growingSlices(p, fd.Body)
+				fmtAlias := importAlias(f, "fmt")
+				tupleAlias := importAlias(f, "spear/internal/tuple")
+				scanLoop := func(body *ast.BlockStmt) {
+					out = append(out, scanMutexMetric(p, body, "a columnar kernel loop")...)
+					out = append(out, scanBatchAllocs(p, body, fmtAlias, growing, "a columnar kernel loop")...)
+					out = append(out, scanColumnKernel(p, body, tupleAlias)...)
+				}
+				// Unlike OnTupleBatch, do NOT stop at function literals
+				// while hunting for loops: the EachRun visit closure is
+				// synchronous kernel code. Outermost loops only — each
+				// scan covers its nested loops.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.ForStmt:
+						scanLoop(n.Body)
+						return false
+					case *ast.RangeStmt:
+						scanLoop(n.Body)
+						return false
+					}
+					return true
+				})
 			}
 		}
 	}
+	return out
+}
+
+// scanColumnKernel flags row-format regressions inside one columnar
+// kernel loop: tuple.Value boxing via the tuple package's constructors,
+// per-row Value accessor calls, per-row interface conversions (type
+// assertions), and indexing into a tuple's Vals row storage. Nested
+// function literals are skipped (closures do not run per iteration of
+// this loop). Matching is syntactic — method names and the file's
+// tuple import alias — like the time.Now check: the stub importer
+// leaves cross-package types opaque, and a tripwire must never guess.
+func scanColumnKernel(p *Pkg, loop *ast.BlockStmt, tupleAlias string) []Finding {
+	const where = " inside a columnar kernel loop; the kernel contract is tight loops over the typed column slices — "
+	var out []Finding
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.TypeAssertExpr:
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(n.Pos()),
+				Check: "hotloop",
+				Msg:   "per-row interface conversion (type assertion)" + where + "resolve the dynamic type once per batch, or fall back to the row path",
+			})
+		case *ast.IndexExpr:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Vals" {
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(n.Pos()),
+					Check: "hotloop",
+					Msg:   "row-format field access (Vals indexing)" + where + "read the column slice the batch already materialized",
+				})
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "AsFloat", "AsInt", "AsString", "AsBool":
+					out = append(out, Finding{
+						Pos:   p.Fset.Position(n.Pos()),
+						Check: "hotloop",
+						Msg:   "per-row Value accessor (." + fun.Sel.Name + ")" + where + "the typed slice already holds the unboxed values",
+					})
+				default:
+					if id, ok := fun.X.(*ast.Ident); ok && tupleAlias != "" && id.Name == tupleAlias {
+						switch fun.Sel.Name {
+						case "Int", "Float", "String_", "Bool", "New":
+							out = append(out, Finding{
+								Pos:   p.Fset.Position(n.Pos()),
+								Check: "hotloop",
+								Msg:   "tuple.Value boxing (" + tupleAlias + "." + fun.Sel.Name + ")" + where + "emit into a column or a plain slice instead of boxing per row",
+							})
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
 	return out
 }
 
@@ -582,14 +683,13 @@ func growingInit(e ast.Expr) bool {
 	return false
 }
 
-// scanBatchAllocs flags per-tuple allocation churn inside one
-// OnTupleBatch loop body: fmt formatting calls, string concatenation,
-// and appends to slices declared without capacity. Nested function
-// literals are skipped (closures do not run per iteration of this
-// loop); a chain of string + operators is reported once, at its
-// outermost node.
-func scanBatchAllocs(p *Pkg, loop *ast.BlockStmt, fmtAlias string, growing map[types.Object]bool) []Finding {
-	const where = "an OnTupleBatch per-tuple loop"
+// scanBatchAllocs flags per-tuple allocation churn inside one batch
+// ingest loop body (where names it: OnTupleBatch or a columnar
+// kernel): fmt formatting calls, string concatenation, and appends to
+// slices declared without capacity. Nested function literals are
+// skipped (closures do not run per iteration of this loop); a chain of
+// string + operators is reported once, at its outermost node.
+func scanBatchAllocs(p *Pkg, loop *ast.BlockStmt, fmtAlias string, growing map[types.Object]bool, where string) []Finding {
 	var out []Finding
 	ast.Inspect(loop, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -677,7 +777,8 @@ func scanMutexMetric(p *Pkg, body *ast.BlockStmt, where string) []Finding {
 }
 
 // runDirectSpill flags direct SpillStore.Store/Get calls reachable from
-// the manager entry points OnTuple/OnTupleBatch. The archive and window
+// the manager entry points OnTuple/OnTupleBatch/OnColumnBatch. The
+// archive and window
 // buffers route every spill operation through the async spill plane
 // (spill.Plane, obtained via spill.AsPlane); a raw store call on the
 // data path reintroduces the synchronous round-trip to S the plane
@@ -737,7 +838,7 @@ func runDirectSpill(p *Pkg) []Finding {
 					decls[obj] = fd
 				}
 			}
-			if fd.Recv != nil && (fd.Name.Name == "OnTuple" || fd.Name.Name == "OnTupleBatch") {
+			if fd.Recv != nil && (fd.Name.Name == "OnTuple" || fd.Name.Name == "OnTupleBatch" || fd.Name.Name == "OnColumnBatch") {
 				seeds = append(seeds, fd)
 			}
 		}

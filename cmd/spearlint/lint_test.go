@@ -139,6 +139,16 @@ func TestHotTuple(t *testing.T) {
 	checkFixture(t, analyzerHotLoop, "hottuple", "internal/core")
 }
 
+// TestHotCol is the columnar-kernel side of the hotloop analyzer: the
+// OnColumnBatch loops — including loops inside the synchronous
+// window-run visit closures — must reject tuple.Value boxing, per-row
+// Value accessors, per-row interface conversions, Vals row-storage
+// indexing, and the usual mutex/metric and allocation churn, while
+// per-batch eligibility gates and per-run amortized work stay quiet.
+func TestHotCol(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "hotcol", "internal/core")
+}
+
 // TestHotTransport is the internal/transport side of the hotloop
 // analyzer: the shuffle send path (pump, sendSeq, and everything the
 // encode closures reach synchronously) must reject inline net dials
@@ -149,7 +159,7 @@ func TestHotTransport(t *testing.T) {
 }
 
 func TestHotLoopOutOfScope(t *testing.T) {
-	for _, fixture := range []string{"hotloop", "hottuple", "hottransport"} {
+	for _, fixture := range []string{"hotloop", "hottuple", "hotcol", "hottransport"} {
 		pkg := loadFixture(t, filepath.Join("testdata", "src", fixture), "internal/fixture")
 		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
 			t.Errorf("out-of-scope %s should be clean, got %d findings", fixture, len(fs))
@@ -165,6 +175,7 @@ func TestHotLoopCrossScope(t *testing.T) {
 	for fixture, rel := range map[string]string{
 		"hotloop":  "internal/core",
 		"hottuple": "internal/spe",
+		"hotcol":   "internal/spe",
 	} {
 		pkg := loadFixture(t, filepath.Join("testdata", "src", fixture), rel)
 		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {

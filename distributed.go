@@ -184,7 +184,16 @@ func (q *Query) managerFactory(plane *spill.Plane, reg *metrics.Registry, deferD
 			GroupedEstimator:   q.groupedEst,
 			Metrics:            reg.Worker(fmt.Sprintf("%s[%d]", q.name, wi)),
 			Budget:             q.budgetPolicy,
-			DeferStoreDeletes:  deferDeletes,
+			// The spec only authorizes the columnar kernels; it never
+			// changes results, so it stays out of topoHash and shard
+			// nodes (which drive the row batch path regardless) may
+			// disagree with the source about it.
+			Columnar: core.ColumnarSpec{
+				Enabled:    q.colOn,
+				ValueField: q.colValueField,
+				KeyField:   q.colKeyField,
+			},
+			DeferStoreDeletes: deferDeletes,
 		}
 		switch q.backend {
 		case BackendExact:

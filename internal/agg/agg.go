@@ -278,6 +278,10 @@ func NewIncremental(f Func) (*Incremental, error) {
 // Add folds one value in.
 func (i *Incremental) Add(x float64) { i.w.Add(x) }
 
+// AddSlice folds a run of values in, bit-identical to calling Add on
+// each element in order (the columnar fast path).
+func (i *Incremental) AddSlice(xs []float64) { i.w.AddSlice(xs) }
+
 // Result returns the current exact value: for the window mean this is
 // the single division of §5.2 ("When a watermark arrives, it only
 // performs a division to produce the mean per window").

@@ -47,6 +47,7 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 	"fig12":      Fig12,
 	"checkpoint": Checkpoint,
 	"pipeline":   Pipeline,
+	"columnar":   Columnar,
 	"spill":      Spill,
 	"shuffle":    Shuffle,
 }
@@ -55,7 +56,7 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 func ExperimentIDs() []string {
 	return []string{"table1", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint",
-		"pipeline", "spill", "shuffle"}
+		"pipeline", "columnar", "spill", "shuffle"}
 }
 
 // ---- dataset-specific query builders ----

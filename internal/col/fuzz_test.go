@@ -1,0 +1,164 @@
+package col
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"spear/internal/tuple"
+)
+
+// rowsFromBytes decodes arbitrary fuzz input into a deterministic row
+// set: [nrows][per row: ts byte, nvals][per val: kind selector + 8
+// payload bytes]. The selector space deliberately includes invalid
+// kinds and a "missing tail" marker so mixed-kind columns, nulls, and
+// ragged rows are all reachable from the byte stream.
+func rowsFromBytes(data []byte) []tuple.Tuple {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	next8 := func() uint64 {
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = next()
+		}
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+	nrows := int(next()) % 33 // 0..32 rows, empty batches included
+	rows := make([]tuple.Tuple, 0, nrows)
+	for r := 0; r < nrows; r++ {
+		ts := int64(next8())
+		nvals := int(next()) % 9 // 0..8 fields, empty rows included
+		vals := make([]tuple.Value, 0, nvals)
+		for v := 0; v < nvals; v++ {
+			sel := next() % 6
+			payload := next8()
+			switch sel {
+			case 0:
+				vals = append(vals, tuple.Int(int64(payload)))
+			case 1:
+				vals = append(vals, tuple.Float(math.Float64frombits(payload)))
+			case 2:
+				s := [4]byte{byte(payload), byte(payload >> 8), byte(payload >> 16), byte(payload >> 24)}
+				vals = append(vals, tuple.String_(string(s[:payload%5])))
+			case 3:
+				vals = append(vals, tuple.Bool(payload&1 == 1))
+			case 4:
+				vals = append(vals, tuple.Value{}) // invalid field
+			case 5:
+				// Ragged row: stop early so later columns see this row
+				// as missing.
+				return append(rows, tuple.Tuple{Ts: ts, Vals: vals})
+			}
+		}
+		rows = append(rows, tuple.Tuple{Ts: ts, Vals: vals})
+	}
+	return rows
+}
+
+// FuzzColumnBatch fuzzes the row→column→row round trip: whatever mix of
+// kinds, nulls, ragged widths, and payload bit patterns the bytes
+// decode to, ToRows must reconstruct the input exactly (Value.Equal,
+// which is bit-exact on float payloads), and the fast accessors must
+// agree with the row values whenever they claim eligibility.
+func FuzzColumnBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 9, 9, 9, 9, 9, 9, 9, 9, 4, 2, 0xAA, 1, 0xBB, 4, 0xCC, 5})
+	f.Add([]byte{32, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 8, 1, 0, 0, 0, 0, 0, 0, 0xF0, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := rowsFromBytes(data)
+		b := Get()
+		defer Put(b)
+		b.SetRows(rows)
+
+		if b.Len() != len(rows) {
+			t.Fatalf("Len=%d want %d", b.Len(), len(rows))
+		}
+
+		// AppendRow equivalence: building the batch one row at a time
+		// must be indistinguishable from the bulk conversion — same
+		// kinds, nulls, bitmaps, payloads (via the round trip), same
+		// rows from the owned storage.
+		ab := Get()
+		defer Put(ab)
+		for _, r := range rows {
+			ab.AppendRow(r)
+		}
+		if ab.Len() != b.Len() || ab.Width() != b.Width() {
+			t.Fatalf("AppendRow: len/width %d/%d want %d/%d", ab.Len(), ab.Width(), b.Len(), b.Width())
+		}
+		if len(ab.Rows()) != len(rows) {
+			t.Fatalf("AppendRow: Rows len %d want %d", len(ab.Rows()), len(rows))
+		}
+		agot := ab.ToRows(nil)
+		for j := 0; j < b.Width(); j++ {
+			if ab.Kind(j) != b.Kind(j) || ab.Nulls(j) != b.Nulls(j) {
+				t.Fatalf("AppendRow col %d: kind/nulls %v/%d want %v/%d", j, ab.Kind(j), ab.Nulls(j), b.Kind(j), b.Nulls(j))
+			}
+			av, bv := ab.Valid(j), b.Valid(j)
+			for w := range bv {
+				if w < len(av) && av[w] != bv[w] {
+					t.Fatalf("AppendRow col %d: valid word %d = %x want %x", j, w, av[w], bv[w])
+				}
+			}
+		}
+		for i := range rows {
+			if agot[i].Ts != rows[i].Ts || len(agot[i].Vals) != len(rows[i].Vals) {
+				t.Fatalf("AppendRow row %d: shape mismatch", i)
+			}
+			for j := range rows[i].Vals {
+				if !agot[i].Vals[j].Equal(rows[i].Vals[j]) {
+					t.Fatalf("AppendRow row %d field %d: %v want %v", i, j, agot[i].Vals[j], rows[i].Vals[j])
+				}
+			}
+		}
+		got := b.ToRows(nil)
+		if len(got) != len(rows) {
+			t.Fatalf("ToRows: %d rows, want %d", len(got), len(rows))
+		}
+		for i := range rows {
+			if got[i].Ts != rows[i].Ts {
+				t.Fatalf("row %d: Ts=%d want %d", i, got[i].Ts, rows[i].Ts)
+			}
+			if len(got[i].Vals) != len(rows[i].Vals) {
+				t.Fatalf("row %d: %d vals, want %d", i, len(got[i].Vals), len(rows[i].Vals))
+			}
+			for j := range rows[i].Vals {
+				if !got[i].Vals[j].Equal(rows[i].Vals[j]) {
+					t.Fatalf("row %d field %d: %v want %v", i, j, got[i].Vals[j], rows[i].Vals[j])
+				}
+			}
+		}
+
+		// Fast-accessor coherence: an eligible column must be dense,
+		// row-aligned, and bit-identical to the row path's AsFloat.
+		for j := 0; j < b.Width(); j++ {
+			if fs := b.Floats(j); fs != nil {
+				if len(fs) != len(rows) {
+					t.Fatalf("Floats(%d): len %d want %d", j, len(fs), len(rows))
+				}
+				for i := range rows {
+					if math.Float64bits(fs[i]) != math.Float64bits(rows[i].Vals[j].AsFloat()) {
+						t.Fatalf("Floats(%d)[%d] diverges from AsFloat", j, i)
+					}
+				}
+			}
+			if codes, dict, ok := b.Strings(j); ok {
+				if len(codes) != len(rows) {
+					t.Fatalf("Strings(%d): len %d want %d", j, len(codes), len(rows))
+				}
+				for i := range rows {
+					if dict[codes[i]] != rows[i].Vals[j].AsString() {
+						t.Fatalf("Strings(%d)[%d] diverges from AsString", j, i)
+					}
+				}
+			}
+		}
+	})
+}

@@ -128,6 +128,7 @@ type IncrementalManager struct {
 
 	wins     map[window.ID]*agg.Incremental
 	started  bool
+	fired    bool // some window has actually closed; lateness is defined from here on
 	nextFire window.ID
 	seq      int64
 	maxPos   int64
@@ -162,6 +163,11 @@ func (m *IncrementalManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 	lo, hi := m.cfg.Spec.Assign(pos)
 	if !m.started {
 		m.started = true
+		m.nextFire = lo
+	} else if lo < m.nextFire && !m.fired {
+		// Pre-first-fire the anchor is only the first tuple's guess;
+		// multi-sender reordering at stream start must lower it, not
+		// drop the tuple (see ScalarManager.ingest).
 		m.nextFire = lo
 	}
 	if hi < m.nextFire {
@@ -209,6 +215,7 @@ func (m *IncrementalManager) fire(wm int64) []Result {
 	if last < m.nextFire {
 		return nil
 	}
+	m.fired = true // windows at and below last are closed for good
 	var out []Result
 	for id := m.nextFire; id <= last; id++ {
 		inc, ok := m.wins[id]

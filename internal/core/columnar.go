@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+
+	"spear/internal/agg"
+	"spear/internal/col"
+	"spear/internal/sample"
+	"spear/internal/window"
+)
+
+// This file holds the columnar ingest kernels — the ColumnManager
+// implementations for the scalar and grouped managers. Both follow the
+// same shape:
+//
+//  1. Eligibility gate, once per batch: the columnar lane applies only
+//     to time-domain specs (count-domain windows fire on arrival, which
+//     needs the per-tuple interleave), requires a dense row-aligned
+//     value column, and verifies the declared field projections against
+//     the first row (the tripwire: Config.Value must equal
+//     FieldFloat(Columnar.ValueField) bit-for-bit). Anything else falls
+//     back to OnTupleBatch over the borrowed rows — correctness never
+//     depends on the declaration.
+//  2. window.Spec.EachRun segments the batch's positions into runs
+//     sharing one window assignment, so the assignment arithmetic,
+//     lateness check, and window map lookups are paid per run, not per
+//     tuple (a tumbling window sees one run per batch in steady state).
+//  3. Per (run, window): the samplers consume the raw value slice —
+//     Reservoir.AddSlice (Algorithm L skip-ahead), Welford.AddSlice,
+//     Incremental.AddSlice — all bit-identical by contract to a
+//     per-element Add loop, same PRNG draws included. Each window sees
+//     its tuples in arrival order exactly as the row path does, so
+//     every downstream accuracy decision (ε̂_w, accelerate-vs-exact
+//     Mode) is unchanged.
+//  4. Archiving and telemetry are amortized per run / per batch, which
+//     OnTupleBatch already does per batch.
+//
+// Window state, archive state, and the seq/maxPos scalars are mutually
+// independent during time-domain ingest (nothing fires before the
+// watermark), so hoisting the maxPos fold to the batch head and
+// deferring the archive appends to the run tail reorders no observable
+// effect.
+
+// OnColumnBatch implements ColumnManager for the scalar manager: the
+// per-tuple work of Alg. 1 as tight loops over the raw value column.
+func (m *ScalarManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
+	n := cb.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	rows := cb.Rows()
+	if !m.cfg.Columnar.Enabled || m.cfg.Spec.Domain == window.CountDomain {
+		return m.OnTupleBatch(rows)
+	}
+	vals := cb.Floats(m.cfg.Columnar.ValueField)
+	if vals == nil ||
+		math.Float64bits(vals[0]) != math.Float64bits(m.cfg.Value(rows[0])) {
+		return m.OnTupleBatch(rows)
+	}
+	ts := cb.Ts()
+
+	// seq/maxPos fold, hoisted: ingest never reads them (only the
+	// watermark-time fire does), so batch-head order is equivalent.
+	if m.seq == 0 {
+		m.maxPos = ts[0]
+	}
+	m.seq += int64(n)
+	for _, p := range ts {
+		if p > m.maxPos {
+			m.maxPos = p
+		}
+	}
+
+	late := 0
+	var archiveErr error
+	m.cfg.Spec.EachRun(ts, func(i0, i1 int, lo, hi window.ID) {
+		if archiveErr != nil {
+			return
+		}
+		if !m.started {
+			m.started = true
+			m.nextFire = lo
+		} else if lo < m.nextFire && !m.fired {
+			// Pre-first-fire anchor lowering, mirroring the row path
+			// (see ScalarManager.ingest) so both stay bit-identical.
+			m.nextFire = lo
+		}
+		if hi < m.nextFire {
+			// Late run: dropped, not archived — exactly the per-tuple
+			// late path.
+			late += i1 - i0
+			return
+		}
+		if lo < m.nextFire {
+			lo = m.nextFire
+		}
+		run := vals[i0:i1]
+		for id := lo; id <= hi; id++ {
+			w := m.lastWin
+			if w == nil || id != m.lastID {
+				var ok bool
+				w, ok = m.wins[id]
+				if !ok {
+					w = &scalarWin{
+						res:   sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL),
+						first: ts[i0],
+					}
+					if m.useIncremental() {
+						w.inc, _ = agg.NewIncremental(m.cfg.Agg)
+					}
+					m.wins[id] = w
+				}
+				m.lastID, m.lastWin = id, w
+			}
+			w.res.AddSlice(run)
+			w.all.AddSlice(run)
+			if w.inc != nil {
+				w.inc.AddSlice(run)
+			}
+		}
+		for i := i0; i < i1; i++ {
+			if err := m.arc.add(rows[i]); err != nil {
+				archiveErr = err
+				return
+			}
+		}
+	})
+	m.late += int64(late)
+	if m.cfg.Metrics != nil {
+		if late > 0 {
+			m.cfg.Metrics.LateDropped.Add(int64(late))
+		}
+		if n > late {
+			m.cfg.Metrics.TuplesIn.Add(int64(n - late))
+			m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+		}
+	}
+	return nil, archiveErr
+}
+
+// OnColumnBatch implements ColumnManager for the grouped manager's
+// arrival-sampled path (known groups): per-group frequency/variance and
+// stratified reservoirs fed from the raw value column and the
+// dictionary-coded key column — interned dictionary strings key the
+// group maps with zero per-row allocation. The buffered path (unknown
+// groups) and count-domain specs fall back to the row path.
+func (m *GroupedManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
+	n := cb.Len()
+	if n == 0 {
+		return nil, nil
+	}
+	rows := cb.Rows()
+	if !m.cfg.Columnar.Enabled || m.arc == nil || m.cfg.Spec.Domain == window.CountDomain {
+		return m.OnTupleBatch(rows)
+	}
+	vals := cb.Floats(m.cfg.Columnar.ValueField)
+	codes, dict, ok := cb.Strings(m.cfg.Columnar.KeyField)
+	if vals == nil || !ok ||
+		math.Float64bits(vals[0]) != math.Float64bits(m.cfg.Value(rows[0])) ||
+		dict[codes[0]] != m.cfg.KeyBy(rows[0]) {
+		return m.OnTupleBatch(rows)
+	}
+	ts := cb.Ts()
+
+	if m.seq == 0 {
+		m.maxPos = ts[0]
+	}
+	m.seq += int64(n)
+	for _, p := range ts {
+		if p > m.maxPos {
+			m.maxPos = p
+		}
+	}
+
+	var archiveErr error
+	m.cfg.Spec.EachRun(ts, func(i0, i1 int, lo, hi window.ID) {
+		if archiveErr != nil {
+			return
+		}
+		if !m.started {
+			m.started = true
+			m.nextFire = lo
+		} else if lo < m.nextFire && !m.fired {
+			// Pre-first-fire anchor lowering, mirroring the row path
+			// (see GroupedManager.ingest) so both stay bit-identical.
+			m.nextFire = lo
+		}
+		if hi >= m.nextFire {
+			if lo < m.nextFire {
+				lo = m.nextFire
+			}
+			for id := lo; id <= hi; id++ {
+				w, ok := m.wins[id]
+				if !ok {
+					w = &groupedWin{gs: sample.NewGroupStats()}
+					w.known = sample.NewGroupReservoirs(
+						m.perGroupCap(), sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
+					m.wins[id] = w
+				}
+				for i := i0; i < i1; i++ {
+					w.gs.Add(dict[codes[i]], vals[i])
+					w.known.Add(dict[codes[i]], vals[i])
+				}
+			}
+		} else {
+			m.late += int64(i1 - i0)
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.LateDropped.Add(int64(i1 - i0))
+			}
+		}
+		// The grouped archive keeps late tuples too (they are dropped
+		// from results, not from S) — same as the per-tuple path.
+		for i := i0; i < i1; i++ {
+			if err := m.arc.add(rows[i]); err != nil {
+				archiveErr = err
+				return
+			}
+		}
+	})
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.TuplesIn.Add(int64(n))
+		m.cfg.Metrics.MemBytes.Set(int64(m.BudgetMemUsage()))
+	}
+	return nil, archiveErr
+}
+
+// ensure interface compliance.
+var (
+	_ ColumnManager = (*ScalarManager)(nil)
+	_ ColumnManager = (*GroupedManager)(nil)
+)

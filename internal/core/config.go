@@ -110,6 +110,15 @@ type Config struct {
 	// starting value.
 	Budget BudgetPolicy
 
+	// Columnar opts the manager into the columnar ingest fast lane:
+	// when enabled, the engine delivers micro-batches as typed column
+	// batches and OnColumnBatch runs the tight-loop kernels over raw
+	// []float64 / dictionary-coded key slices. Results are bit-identical
+	// to the row path by contract; any batch whose columns are not
+	// eligible (nulls, mixed kinds, extractor mismatch) falls back to
+	// OnTupleBatch automatically.
+	Columnar ColumnarSpec
+
 	// DeferStoreDeletes, set by the checkpointing layer, makes the
 	// manager record Store deletions (archive panes, spill segments)
 	// instead of executing them, exposing them via TakeDeferredDeletes.
@@ -117,6 +126,18 @@ type Config struct {
 	// still references those segments; the checkpoint coordinator
 	// executes the deletions only after the next checkpoint commits.
 	DeferStoreDeletes bool
+}
+
+// ColumnarSpec declares the field projections the columnar kernels may
+// assume: Value must be equivalent to tuple.FieldFloat(ValueField) and
+// — for grouped operations — KeyBy to tuple.FieldString(KeyField). The
+// kernels verify the equivalence against the first row of every batch
+// and fall back to the row path on mismatch, so a wrong declaration
+// costs speed, never correctness.
+type ColumnarSpec struct {
+	Enabled    bool
+	ValueField int
+	KeyField   int
 }
 
 // errors returned by config validation.

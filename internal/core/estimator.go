@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"spear/internal/agg"
 	"spear/internal/sample"
@@ -201,15 +202,23 @@ func groupedL1Error(g GroupedState, f agg.Func) (float64, bool) {
 		// violating |R̂_w| = |R_w|.
 		return math.Inf(1), false
 	}
+	// Sorted group order: the L1 combination is a float sum, and map
+	// iteration order must not leak into ε̂ — two managers fed the same
+	// stream must report bit-identical estimates (cf. CongressAllocate,
+	// which sorts for the same reason).
+	keys := make([]string, 0, g.Groups.Len())
+	g.Groups.Each(func(key string, _ *stats.Welford) { keys = append(keys, key) })
+	sort.Strings(keys)
 	var sum float64
 	groups := 0
 	okAll := true
-	g.Groups.Each(func(key string, w *stats.Welford) {
+	for _, key := range keys {
+		w := g.Groups.Get(key)
 		nG := int64(g.Alloc[key])
 		NG := w.Count()
 		if nG <= 0 {
 			okAll = false
-			return
+			break
 		}
 		var eG float64
 		if nG >= NG {
@@ -228,7 +237,7 @@ func groupedL1Error(g GroupedState, f agg.Func) (float64, bool) {
 		}
 		sum += eG
 		groups++
-	})
+	}
 	if !okAll || groups == 0 {
 		return math.Inf(1), false
 	}

@@ -43,6 +43,7 @@ type GroupedManager struct {
 	// Arrival-sampled path (known groups).
 	arc      *archive
 	started  bool
+	fired    bool // some window has actually closed; lateness is defined from here on
 	nextFire window.ID
 	maxPos   int64
 	late     int64
@@ -169,6 +170,11 @@ func (m *GroupedManager) ingest(t tuple.Tuple) ([]Result, error) {
 	if m.arc != nil && !m.started {
 		m.started = true
 		m.nextFire = lo
+	} else if m.arc != nil && lo < m.nextFire && !m.fired {
+		// Pre-first-fire the anchor is only the first tuple's guess;
+		// multi-sender reordering at stream start must lower it, not
+		// drop the tuple (see ScalarManager.ingest).
+		m.nextFire = lo
 	}
 	nextFire := m.nextFire
 	if hi >= nextFire {
@@ -254,6 +260,7 @@ func (m *GroupedManager) fireKnown(wm int64) ([]Result, error) {
 	if last < m.nextFire {
 		return nil, nil
 	}
+	m.fired = true // windows at and below last are closed for good
 	var out []Result
 	for id := m.nextFire; id <= last; id++ {
 		r, err := m.produceKnown(id)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"spear/internal/col"
 	"spear/internal/tuple"
 	"spear/internal/window"
 )
@@ -94,6 +95,28 @@ type Manager interface {
 // that do not implement it keep working through the IngestBatch shim.
 type BatchManager interface {
 	OnTupleBatch(ts []tuple.Tuple) ([]Result, error)
+}
+
+// ColumnManager is the optional columnar fast path on Manager. When
+// Config.Columnar is enabled, the engine's windowed workers convert
+// each contiguous run of data tuples into a pooled col.ColumnBatch and
+// deliver it here instead of OnTupleBatch.
+//
+// The contract is the same strict equivalence as BatchManager's, one
+// level up: OnColumnBatch(cb) must leave the manager in the same state,
+// and return the same results in the same order, as OnTupleBatch over
+// cb.Rows() — which itself must equal per-tuple OnTuple calls. Window
+// values AND accelerate/exact Mode decisions are bit-identical by
+// construction: the kernels consume the same float bits in the same
+// per-window arrival order and draw the same PRNG streams. A manager
+// whose configuration or batch shape is outside its kernel's reach must
+// fall back to OnTupleBatch(cb.Rows()) internally, never approximate.
+//
+// The batch is borrowed: it is valid only for the duration of the call
+// (the worker refills it for the next batch), so kernels must not
+// retain cb or any slice obtained from it.
+type ColumnManager interface {
+	OnColumnBatch(cb *col.ColumnBatch) ([]Result, error)
 }
 
 // Prefetcher is the optional watermark-driven read-ahead hook on

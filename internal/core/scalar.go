@@ -33,6 +33,7 @@ type ScalarManager struct {
 	lastID    window.ID  //lint:allow snapshotcover memo cache; rebuilt on demand, reset by RestoreState
 	lastWin   *scalarWin //lint:allow snapshotcover memo cache; rebuilt on demand, reset by RestoreState
 	started   bool
+	fired     bool // some window has actually closed; lateness is defined from here on
 	nextFire  window.ID
 	seq       int64
 	maxPos    int64
@@ -151,6 +152,13 @@ func (m *ScalarManager) ingest(t tuple.Tuple) (rs []Result, ingested bool, err e
 	if !m.started {
 		m.started = true
 		m.nextFire = lo
+	} else if lo < m.nextFire && !m.fired {
+		// Before the first fire the anchor is only a guess from the
+		// first tuple seen; with several upstream senders the merged
+		// stream is unordered between watermark rounds, so an earlier
+		// tuple must lower it rather than be misclassified as late.
+		// Nothing below nextFire has closed until m.fired.
+		m.nextFire = lo
 	}
 	if hi < m.nextFire {
 		m.late++
@@ -219,6 +227,7 @@ func (m *ScalarManager) fire(wm int64) ([]Result, error) {
 	if last < m.nextFire {
 		return nil, nil
 	}
+	m.fired = true // windows at and below last are closed for good
 	var out []Result
 	for id := m.nextFire; id <= last; id++ {
 		r, err := m.produce(id)

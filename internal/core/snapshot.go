@@ -44,6 +44,7 @@ func badTag(kind string, tag byte, rd *tuple.WireReader) error {
 func (m *ScalarManager) SnapshotState() ([]byte, error) {
 	dst := []byte{snapScalar}
 	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendBool(dst, m.fired)
 	dst = tuple.AppendI64(dst, int64(m.nextFire))
 	dst = tuple.AppendI64(dst, m.seq)
 	dst = tuple.AppendI64(dst, m.maxPos)
@@ -80,6 +81,7 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 		return badTag("scalar", tag, rd)
 	}
 	started := rd.Bool()
+	fired := rd.Bool()
 	nextFire := window.ID(rd.I64())
 	seq := rd.I64()
 	maxPos := rd.I64()
@@ -123,7 +125,7 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 	if seq < 0 || late < 0 || curBudget == 0 {
 		return fmt.Errorf("%w: scalar snapshot counters", tuple.ErrCorrupt)
 	}
-	m.started, m.nextFire, m.seq, m.maxPos, m.late = started, nextFire, seq, maxPos, late
+	m.started, m.fired, m.nextFire, m.seq, m.maxPos, m.late = started, fired, nextFire, seq, maxPos, late
 	m.curBudget = int(curBudget)
 	m.arc = arc
 	m.wins = wins
@@ -148,6 +150,7 @@ func (m *GroupedManager) SnapshotState() ([]byte, error) {
 	known := m.arc != nil
 	dst = tuple.AppendBool(dst, known)
 	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendBool(dst, m.fired)
 	dst = tuple.AppendI64(dst, int64(m.nextFire))
 	dst = tuple.AppendI64(dst, m.maxPos)
 	dst = tuple.AppendI64(dst, m.late)
@@ -193,6 +196,7 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 		return fmt.Errorf("%w: grouped snapshot mode mismatches configuration", tuple.ErrCorrupt)
 	}
 	started := rd.Bool()
+	fired := rd.Bool()
 	nextFire := window.ID(rd.I64())
 	maxPos := rd.I64()
 	late := rd.I64()
@@ -244,7 +248,7 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 	} else {
 		m.arc = arc
 	}
-	m.started, m.nextFire, m.maxPos, m.late, m.seq = started, nextFire, maxPos, late, seq
+	m.started, m.fired, m.nextFire, m.maxPos, m.late, m.seq = started, fired, nextFire, maxPos, late, seq
 	m.wins = wins
 	return nil
 }
@@ -298,6 +302,7 @@ func (m *ExactManager) TakeDeferredDeletes() []string { return m.buf.TakeDeferre
 func (m *IncrementalManager) SnapshotState() ([]byte, error) {
 	dst := []byte{snapIncremental}
 	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendBool(dst, m.fired)
 	dst = tuple.AppendI64(dst, int64(m.nextFire))
 	dst = tuple.AppendI64(dst, m.seq)
 	dst = tuple.AppendI64(dst, m.maxPos)
@@ -322,6 +327,7 @@ func (m *IncrementalManager) RestoreState(b []byte) error {
 		return badTag("incremental", tag, rd)
 	}
 	started := rd.Bool()
+	fired := rd.Bool()
 	nextFire := window.ID(rd.I64())
 	seq := rd.I64()
 	maxPos := rd.I64()
@@ -352,7 +358,7 @@ func (m *IncrementalManager) RestoreState(b []byte) error {
 	if seq < 0 || late < 0 {
 		return fmt.Errorf("%w: incremental snapshot counters", tuple.ErrCorrupt)
 	}
-	m.started, m.nextFire, m.seq, m.maxPos, m.late = started, nextFire, seq, maxPos, late
+	m.started, m.fired, m.nextFire, m.seq, m.maxPos, m.late = started, fired, nextFire, seq, maxPos, late
 	m.wins = wins
 	return nil
 }

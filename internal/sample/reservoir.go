@@ -84,6 +84,38 @@ func (r *Reservoir) Add(x float64) {
 	}
 }
 
+// AddSlice offers a run of observations, equivalent to calling Add on
+// each element in order — same admissions, same PRNG draw sequence,
+// bit-identical sample. For Algorithm L past the fill phase it replaces
+// the per-item seen==next comparison with direct skip-ahead over the
+// slice (the admission index is already known), so a columnar batch
+// costs O(admissions), not O(items). Algorithm R and the fill phase
+// take the per-item path, which is already just Add.
+func (r *Reservoir) AddSlice(xs []float64) {
+	i := 0
+	for i < len(xs) && len(r.items) < r.cap {
+		r.Add(xs[i])
+		i++
+	}
+	if r.algo != AlgoL {
+		for ; i < len(xs); i++ {
+			r.Add(xs[i])
+		}
+		return
+	}
+	for i < len(xs) {
+		d := r.next - r.seen // items until the next admission, ≥ 1
+		if remaining := int64(len(xs) - i); d > remaining {
+			r.seen += remaining
+			return
+		}
+		r.seen += d
+		i += int(d)
+		r.items[r.rng.Intn(r.cap)] = xs[i-1]
+		r.advanceL()
+	}
+}
+
 // advanceL draws the next admission index for Algorithm L.
 func (r *Reservoir) advanceL() {
 	// w ← w · U^(1/k);  skip ← floor(log(U') / log(1−w)).

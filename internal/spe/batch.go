@@ -1,6 +1,10 @@
 package spe
 
-import "sync"
+import (
+	"sync"
+
+	"spear/internal/col"
+)
 
 // defaultBatchSize is the micro-batch size selected when Config.
 // BatchSize is zero. 64 messages keeps a batch comfortably inside one
@@ -83,6 +87,18 @@ func (b *batcher) send(d int, msg Message) {
 		buf = nil
 	}
 	b.bufs[d] = buf
+}
+
+// sendCols ships an entire column batch to destination d as its own
+// singleton []Message. Any row messages buffered for d flush first so
+// the per-channel order stays exactly the per-tuple sender's order; the
+// batch itself is already micro-batch sized, so wrapping it in a
+// multi-message buffer would only delay it behind unrelated data.
+// Ownership of cb transfers to the receiver (col.Put after ingest).
+func (b *batcher) sendCols(d int, cb *col.ColumnBatch) {
+	b.flush(d)
+	nb := b.pool.get()
+	b.outs[d] <- append(nb, Message{Cols: cb, Sender: 0})
 }
 
 // flush ships destination d's pending buffer, if any.

@@ -43,6 +43,15 @@ type Config struct {
 	// semantics exactly). 1 reproduces per-tuple transfer; zero
 	// selects the default of 64.
 	BatchSize int
+	// Columnar switches the windowed workers onto the columnar ingest
+	// lane (pooled col.ColumnBatch conversion feeding OnColumnBatch
+	// kernels, when the manager implements core.ColumnManager) and —
+	// for runs with stateless stages, no checkpointing, and no fabric —
+	// fuses the map/filter chain into a single per-batch kernel driven
+	// by the spout, eliminating the per-stage channel hops. Results are
+	// bit-identical to the row path by the ColumnManager contract;
+	// managers without columnar kernels keep the row batch path.
+	Columnar bool
 	// WatermarkPeriod is the event-time distance between watermarks
 	// emitted by the spout. Zero disables watermark generation (for
 	// count-based windows, which close on arrival).
@@ -250,6 +259,16 @@ func (tp *Topology) Run() error {
 	// recycles batch buffers between senders and receivers so the
 	// steady state is allocation-free.
 	pool := newBatchPool(tp.cfg.BatchSize)
+	hooks := tp.cfg.Checkpoint
+
+	// Operator fusion: a columnar run with stateless stages, no
+	// checkpoint hooks (barrier alignment needs the per-stage channel
+	// structure), and no fabric collapses the whole stage chain into a
+	// fusedChain run by the spout goroutine — the stage channels and
+	// goroutines below are never built, and the windowed stage sees the
+	// spout as its single sender.
+	fused := tp.cfg.Columnar && len(tp.stages) > 0 && hooks == nil && tp.fabric == nil
+
 	mkChans := func(n int) []chan []Message {
 		cs := make([]chan []Message, n)
 		for i := range cs {
@@ -258,11 +277,13 @@ func (tp *Topology) Run() error {
 		return cs
 	}
 	stageIn := make([][]chan []Message, len(tp.stages))
-	for i, s := range tp.stages {
-		stageIn[i] = mkChans(s.par)
+	if !fused {
+		for i, s := range tp.stages {
+			stageIn[i] = mkChans(s.par)
+		}
 	}
 	winSenders := 1
-	if len(tp.stages) > 0 {
+	if len(tp.stages) > 0 && !fused {
 		winSenders = tp.stages[len(tp.stages)-1].par
 	}
 
@@ -313,7 +334,7 @@ func (tp *Topology) Run() error {
 	}
 
 	firstIn := winIn
-	if len(tp.stages) > 0 {
+	if len(tp.stages) > 0 && !fused {
 		firstIn = stageIn[0]
 	}
 	fieldsSeed := maphash.MakeSeed()
@@ -329,7 +350,6 @@ func (tp *Topology) Run() error {
 		}
 		return NewShuffle()
 	}
-	hooks := tp.cfg.Checkpoint
 
 	// Build every worker's manager before starting any goroutine so a
 	// factory failure cannot leak a half-started pipeline. Under a
@@ -385,10 +405,19 @@ func (tp *Topology) Run() error {
 		out := newBatcher(firstIn, tp.cfg.BatchSize, pool)
 		defer out.flushAll() // runs before the channel-close defer above
 		var part Partitioner
-		if len(tp.stages) > 0 {
+		if len(tp.stages) > 0 && !fused {
 			part = NewShuffle()
 		} else {
 			part = winPartitioner()
+		}
+		emitTuple := func(t tuple.Tuple) {
+			out.send(part.Route(t, len(firstIn)), Message{Tuple: t, Sender: 0})
+		}
+		var fchain *fusedChain
+		if fused {
+			fchain = newFusedChain(tp.stages, out, part, len(winIn), tp.cfg.BatchSize)
+			emitTuple = fchain.push
+			defer fchain.flush() // LIFO: drains into out before flushAll above
 		}
 		var offset int64
 		if hooks != nil {
@@ -438,10 +467,16 @@ func (tp *Topology) Run() error {
 			seen = true
 			if gen != nil {
 				if wm, emit := gen.Observe(t.Ts); emit {
+					// Everything routed before the watermark must not be
+					// overtaken by it — including tuples still in the
+					// fused chain's batch buffer.
+					if fchain != nil {
+						fchain.flush()
+					}
 					out.broadcast(Message{IsWM: true, WM: wm, Sender: 0})
 				}
 			}
-			out.send(part.Route(t, len(firstIn)), Message{Tuple: t, Sender: 0})
+			emitTuple(t)
 			offset++
 			if ins != nil {
 				// One branch per tuple in the common case: progress is
@@ -466,12 +501,19 @@ func (tp *Topology) Run() error {
 		// (the semantics Flink gives bounded inputs). Managers clamp
 		// their fire range to windows that received tuples.
 		if tp.cfg.FinalWatermark && seen && tp.cfg.WatermarkPeriod > 0 && failed.get() == nil {
+			if fchain != nil {
+				fchain.flush()
+			}
 			out.broadcast(Message{IsWM: true, WM: int64(^uint64(0) >> 1), Sender: 0})
 		}
 	}()
 
-	// Stateless stages.
+	// Stateless stages (skipped entirely when fused: the spout drives
+	// the whole chain in-line and feeds winIn directly).
 	for si, s := range tp.stages {
+		if fused {
+			break
+		}
 		nextIn := winIn
 		if si+1 < len(tp.stages) {
 			nextIn = stageIn[si+1]
@@ -574,6 +616,7 @@ func (tp *Topology) Run() error {
 					wi:        wi,
 					senders:   winSenders,
 					batchSize: tp.cfg.BatchSize,
+					columnar:  tp.cfg.Columnar,
 					hooks:     hooks,
 					mgr:       mgr,
 					in:        in,
@@ -608,7 +651,9 @@ func (tp *Topology) Run() error {
 
 	wgSpout.Wait()
 	for _, wg := range stageWGs {
-		wg.Wait()
+		if wg != nil { // nil when the stage chain was fused away
+			wg.Wait()
+		}
 	}
 	wgWin.Wait()
 	if results != nil {

@@ -12,6 +12,7 @@ package spe
 import (
 	"hash/maphash"
 
+	"spear/internal/col"
 	"spear/internal/tuple"
 )
 
@@ -20,8 +21,17 @@ import (
 // timestamp ... sent by SPE components periodically") or a checkpoint
 // barrier (Chandy-Lamport-style, injected by the spout and aligned by
 // every multi-input worker before it snapshots).
+//
+// A fused columnar run additionally ships whole column batches: Cols,
+// when non-nil, carries a pooled ColumnBatch holding an entire
+// micro-batch of data tuples already in column format, built by the
+// spout's fused chain. Cols messages exist only on the local fused
+// path (fusion requires no fabric), never cross the wire, and the
+// receiving window worker owns the batch — it must recycle it with
+// col.Put after ingest.
 type Message struct {
 	Tuple     tuple.Tuple
+	Cols      *col.ColumnBatch
 	WM        int64
 	Sender    int // upstream worker index, for watermark/barrier merging
 	IsWM      bool

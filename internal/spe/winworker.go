@@ -3,6 +3,7 @@ package spe
 import (
 	"fmt"
 
+	"spear/internal/col"
 	"spear/internal/core"
 	"spear/internal/obs"
 	"spear/internal/tuple"
@@ -18,6 +19,7 @@ type winWorkerCfg struct {
 	wi        int    // global worker index (seeds, snapshot identity)
 	senders   int    // upstream senders feeding in
 	batchSize int
+	columnar  bool // feed OnColumnBatch kernels when the manager has them
 	hooks     *CheckpointHooks
 	mgr       core.Manager
 	in        chan []Message
@@ -44,6 +46,20 @@ func runWinWorker(c winWorkerCfg) {
 	// OnTupleBatch fast path (asserted once, outside the loop);
 	// managers without one fall back to the per-tuple shim.
 	bm, hasBatch := mgr.(core.BatchManager)
+	// Columnar lane: when the run is columnar and the manager has
+	// OnColumnBatch kernels, each scratch run is converted into one
+	// pooled column batch and ingested through them instead. The
+	// batch buffer is worker-owned for the whole run and recycled at
+	// exit; the manager only borrows it per call.
+	var cm core.ColumnManager
+	var cb *col.ColumnBatch
+	if c.columnar {
+		var hasCol bool
+		if cm, hasCol = mgr.(core.ColumnManager); hasCol {
+			cb = col.Get()
+			defer col.Put(cb)
+		}
+	}
 	// Watermark-driven read-ahead: managers backed by the async
 	// spill plane expose PrefetchWatermark; after each watermark
 	// round fires its windows, the hook warms the plane's cache
@@ -97,12 +113,49 @@ func runWinWorker(c winWorkerCfg) {
 		}
 		var rs []core.Result
 		var err error
-		if hasBatch {
+		switch {
+		case cb != nil:
+			cb.SetRows(scratch)
+			rs, err = cm.OnColumnBatch(cb)
+		case hasBatch:
 			rs, err = bm.OnTupleBatch(scratch)
-		} else {
+		default:
 			rs, err = core.IngestBatch(mgr, scratch)
 		}
 		scratch = scratch[:0]
+		if err != nil {
+			c.failed.set(fmt.Errorf("spe: %s[%d]: %w", c.name, c.wi, err))
+			return
+		}
+		emit(rs)
+	}
+	// ingestCols drains one spout-shipped column batch through the
+	// manager — directly via the columnar kernel when the manager has
+	// one, else through the row fallback over the batch's owned rows.
+	// The worker owns the batch from the moment it arrives and recycles
+	// it here, error or not.
+	ingestCols := func(cb *col.ColumnBatch) {
+		if c.trace != nil {
+			for _, ts := range cb.Ts() {
+				if c.trace.SampleTs(ts) {
+					c.trace.Record(obs.TraceEvent{
+						Kind: obs.TraceAssign, Stage: c.name,
+						Worker: c.wi, Ts: ts,
+					})
+				}
+			}
+		}
+		var rs []core.Result
+		var err error
+		switch {
+		case cm != nil:
+			rs, err = cm.OnColumnBatch(cb)
+		case hasBatch:
+			rs, err = bm.OnTupleBatch(cb.Rows())
+		default:
+			rs, err = core.IngestBatch(mgr, cb.Rows())
+		}
+		col.Put(cb)
 		if err != nil {
 			c.failed.set(fmt.Errorf("spe: %s[%d]: %w", c.name, c.wi, err))
 			return
@@ -115,6 +168,20 @@ func runWinWorker(c winWorkerCfg) {
 	dead := false
 	process := func(msg Message) {
 		if dead {
+			if msg.Cols != nil {
+				col.Put(msg.Cols) // still ours to recycle
+			}
+			return
+		}
+		if msg.Cols != nil {
+			// Preserve arrival order against any pending row tuples
+			// before the column batch's rows reach the manager.
+			ingest()
+			if c.failed.get() != nil {
+				col.Put(msg.Cols)
+				return
+			}
+			ingestCols(msg.Cols)
 			return
 		}
 		if msg.IsWM {

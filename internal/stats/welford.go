@@ -39,6 +39,17 @@ func (w *Welford) Add(x float64) {
 	w.sum += x
 }
 
+// AddSlice folds a run of observations into the accumulator, one at a
+// time in order — the columnar kernels' entry point. The recurrence is
+// exactly Add's per element, so the result is bit-identical to a
+// sequential Add loop (Welford's update is order-dependent; no
+// reassociation is allowed here).
+func (w *Welford) AddSlice(xs []float64) {
+	for _, x := range xs {
+		w.Add(x)
+	}
+}
+
 // Merge folds another accumulator into this one (Chan et al. parallel
 // variance formula). Useful when worker-local statistics are combined.
 func (w *Welford) Merge(o Welford) {

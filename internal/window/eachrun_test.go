@@ -1,0 +1,69 @@
+package window
+
+import "testing"
+
+// TestEachRunMatchesAssign pins the columnar window-assignment
+// contract: concatenating EachRun's runs must reproduce Assign
+// element-for-element, for sorted, unsorted, and negative positions,
+// and for ranges that are not slide multiples (where the assignment can
+// change inside one slide bucket).
+func TestEachRunMatchesAssign(t *testing.T) {
+	specs := []Spec{
+		{Domain: TimeDomain, Range: 10, Slide: 10},
+		{Domain: TimeDomain, Range: 40, Slide: 10},
+		{Domain: TimeDomain, Range: 25, Slide: 10}, // range not a slide multiple
+		{Domain: TimeDomain, Range: 7, Slide: 3},
+		{Domain: CountDomain, Range: 16, Slide: 4},
+	}
+	seqs := [][]int64{
+		nil,
+		{0},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		{5, 5, 5, 9, 10, 10, 11, 29, 30, 31},
+		{-35, -30, -25, -1, 0, 1, 24, 25, 26},
+		{100, 3, 99, 4, 98, 5, 50, 50, 50}, // out of order
+	}
+	// A long strided sequence crossing many boundaries.
+	long := make([]int64, 400)
+	for i := range long {
+		long[i] = int64(i*3 - 150)
+	}
+	seqs = append(seqs, long)
+
+	for si, s := range specs {
+		for qi, pos := range seqs {
+			i := 0
+			s.EachRun(pos, func(i0, i1 int, lo, hi ID) {
+				if i0 != i {
+					t.Fatalf("spec %d seq %d: run starts at %d, want %d", si, qi, i0, i)
+				}
+				if i1 <= i0 {
+					t.Fatalf("spec %d seq %d: empty run [%d,%d)", si, qi, i0, i1)
+				}
+				for k := i0; k < i1; k++ {
+					wlo, whi := s.Assign(pos[k])
+					if wlo != lo || whi != hi {
+						t.Fatalf("spec %d seq %d pos[%d]=%d: run says [%d,%d], Assign says [%d,%d]",
+							si, qi, k, pos[k], lo, hi, wlo, whi)
+					}
+				}
+				i = i1
+			})
+			if i != len(pos) {
+				t.Fatalf("spec %d seq %d: runs covered %d of %d positions", si, qi, i, len(pos))
+			}
+		}
+	}
+}
+
+// TestEachRunMaximal pins that runs are maximal: steady-state tumbling
+// ingest must see one run per in-bucket stretch, not one per tuple.
+func TestEachRunMaximal(t *testing.T) {
+	s := Spec{Domain: TimeDomain, Range: 100, Slide: 100}
+	pos := []int64{0, 10, 20, 99, 100, 150, 199, 200}
+	var runs int
+	s.EachRun(pos, func(i0, i1 int, lo, hi ID) { runs++ })
+	if runs != 3 {
+		t.Fatalf("got %d runs, want 3 (one per tumbling pane)", runs)
+	}
+}

@@ -108,6 +108,7 @@ type SingleBuffer struct {
 	seq        int64 // tuples seen; supplies count-domain positions
 	maxPos     int64 // highest position observed (clamps the fire range)
 	started    bool
+	fired      bool // some window has actually closed; lateness is defined from here on
 	nextFire   ID
 	late       int64
 	spilledCnt int64
@@ -159,11 +160,19 @@ func (m *SingleBuffer) OnTuple(t tuple.Tuple) ([]Complete, error) {
 		m.started = true
 		m.nextFire = lo
 	} else if lo < m.nextFire {
-		// The tuple only belongs to windows that already fired.
-		_, hi := m.cfg.Spec.Assign(p)
-		if hi < m.nextFire {
-			m.late++
-			return nil, nil
+		if !m.fired {
+			// Pre-first-fire the anchor is only the first tuple's
+			// guess; multi-sender reordering at stream start must
+			// lower it, not drop the tuple. Nothing below nextFire
+			// has actually closed until m.fired.
+			m.nextFire = lo
+		} else {
+			// The tuple only belongs to windows that already fired.
+			_, hi := m.cfg.Spec.Assign(p)
+			if hi < m.nextFire {
+				m.late++
+				return nil, nil
+			}
 		}
 	}
 
@@ -213,6 +222,7 @@ func (m *SingleBuffer) fire(wm int64) ([]Complete, error) {
 	if last < m.nextFire {
 		return nil, nil
 	}
+	m.fired = true // windows at and below last are closed for good
 
 	// If tuples spilled, the trigger must retrieve them (§2: "In the
 	// event that the worker spilled tuples to S, then it has to
@@ -337,6 +347,7 @@ type MultiBuffer struct {
 	seq      int64
 	maxPos   int64
 	started  bool
+	fired    bool // some window has actually closed; lateness is defined from here on
 	nextFire ID
 	late     int64
 }
@@ -373,6 +384,9 @@ func (m *MultiBuffer) OnTuple(t tuple.Tuple) ([]Complete, error) {
 	lo, hi := m.cfg.Spec.Assign(p)
 	if !m.started {
 		m.started = true
+		m.nextFire = lo
+	} else if lo < m.nextFire && !m.fired {
+		// Pre-first-fire anchor lowering (see SingleBuffer.OnTuple).
 		m.nextFire = lo
 	}
 	if hi < m.nextFire {
@@ -416,6 +430,7 @@ func (m *MultiBuffer) fire(wm int64) ([]Complete, error) {
 	if last < m.nextFire {
 		return nil, nil
 	}
+	m.fired = true // windows at and below last are closed for good
 	var out []Complete
 	for id := m.nextFire; id <= last; id++ {
 		start, end := m.cfg.Spec.Bounds(id)

@@ -39,6 +39,7 @@ func (m *SingleBuffer) SnapshotState() ([]byte, error) {
 	dst = tuple.AppendI64(dst, m.seq)
 	dst = tuple.AppendI64(dst, m.maxPos)
 	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendBool(dst, m.fired)
 	dst = tuple.AppendI64(dst, int64(m.nextFire))
 	dst = tuple.AppendI64(dst, m.late)
 	dst = tuple.AppendI64(dst, m.spilledCnt)
@@ -61,6 +62,7 @@ func (m *SingleBuffer) RestoreState(b []byte) error {
 	seq := rd.I64()
 	maxPos := rd.I64()
 	started := rd.Bool()
+	fired := rd.Bool()
 	nextFire := ID(rd.I64())
 	late := rd.I64()
 	spilledCnt := rd.I64()
@@ -82,7 +84,7 @@ func (m *SingleBuffer) RestoreState(b []byte) error {
 	for _, t := range buf {
 		bytes += t.MemSize()
 	}
-	m.seq, m.maxPos, m.started, m.nextFire = seq, maxPos, started, nextFire
+	m.seq, m.maxPos, m.started, m.fired, m.nextFire = seq, maxPos, started, fired, nextFire
 	m.late, m.spilledCnt = late, spilledCnt
 	m.segSeq, m.segChunks = int(segSeq), int(segChunks)
 	m.buf, m.bufBytes, m.peak = buf, bytes, int(peak)
@@ -160,6 +162,7 @@ func (m *MultiBuffer) SnapshotState() ([]byte, error) {
 	dst = tuple.AppendI64(dst, m.seq)
 	dst = tuple.AppendI64(dst, m.maxPos)
 	dst = tuple.AppendBool(dst, m.started)
+	dst = tuple.AppendBool(dst, m.fired)
 	dst = tuple.AppendI64(dst, int64(m.nextFire))
 	dst = tuple.AppendI64(dst, m.late)
 	dst = tuple.AppendUvar(dst, uint64(m.peak))
@@ -188,6 +191,7 @@ func (m *MultiBuffer) RestoreState(b []byte) error {
 	seq := rd.I64()
 	maxPos := rd.I64()
 	started := rd.Bool()
+	fired := rd.Bool()
 	nextFire := ID(rd.I64())
 	late := rd.I64()
 	peak := rd.Uvar()
@@ -225,7 +229,7 @@ func (m *MultiBuffer) RestoreState(b []byte) error {
 	if seq < 0 || late < 0 {
 		return fmt.Errorf("%w: negative multi-buffer counter", tuple.ErrCorrupt)
 	}
-	m.seq, m.maxPos, m.started, m.nextFire, m.late = seq, maxPos, started, nextFire, late
+	m.seq, m.maxPos, m.started, m.fired, m.nextFire, m.late = seq, maxPos, started, fired, nextFire, late
 	m.bufs, m.bytes, m.bufBytes, m.peak = bufs, bytes, total, int(peak)
 	return nil
 }

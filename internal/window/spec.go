@@ -118,6 +118,36 @@ func (s Spec) Assign(ts int64) (lo, hi ID) {
 	return lo, hi
 }
 
+// EachRun partitions pos (positions in arrival order, not necessarily
+// sorted) into maximal runs of consecutive elements sharing one window
+// assignment and calls visit once per run with the half-open index
+// range [i0, i1) and that run's inclusive window interval [lo, hi].
+// Concatenating the runs reproduces Assign element-for-element; the
+// point is that a columnar kernel pays the assignment arithmetic once
+// per run instead of once per tuple (a tumbling window sees one run per
+// batch in steady state).
+func (s Spec) EachRun(pos []int64, visit func(i0, i1 int, lo, hi ID)) {
+	for i := 0; i < len(pos); {
+		lo, hi := s.Assign(pos[i])
+		// Assignment (lo, hi) holds exactly on [start, end):
+		//   hi = floorDiv(ts, Slide)        ⇔ hi·S ≤ ts < (hi+1)·S
+		//   lo = floorDiv(ts−Range, S) + 1  ⇔ (lo−1)·S+R ≤ ts < lo·S+R
+		start, end := int64(hi)*s.Slide, (int64(hi)+1)*s.Slide
+		if t := (int64(lo)-1)*s.Slide + s.Range; t > start {
+			start = t
+		}
+		if t := int64(lo)*s.Slide + s.Range; t < end {
+			end = t
+		}
+		j := i + 1
+		for j < len(pos) && pos[j] >= start && pos[j] < end {
+			j++
+		}
+		visit(i, j, lo, hi)
+		i = j
+	}
+}
+
 // FirstCompleteBy returns the largest window ID whose end is ≤ wm, i.e.
 // the newest window a watermark with timestamp wm completes. The caller
 // fires windows nextFire..FirstCompleteBy(wm).

@@ -173,6 +173,10 @@ type Query struct {
 	seed        int64
 	queueSize   int
 	batchSize   int
+
+	colOn         bool
+	colValueField int
+	colKeyField   int
 	wmPeriod    time.Duration
 	wmLag       time.Duration
 
@@ -447,6 +451,43 @@ func (q *Query) Seed(s int64) *Query {
 // (back-pressure); zero keeps the default of 1024.
 func (q *Query) QueueSize(n int) *Query {
 	q.queueSize = n
+	return q
+}
+
+// Columnar opts the query into the columnar execution fast lane. The
+// windowed workers convert each micro-batch into typed column batches
+// (raw []float64 value columns, dictionary-coded string key columns)
+// and run tight-loop aggregation kernels over them; Map stages — when
+// present without checkpointing or Distribute — are additionally fused
+// into a single per-batch kernel driven by the source, eliminating the
+// per-stage channel hops.
+//
+// valueField declares the 0-based tuple field the aggregate's value
+// function reads (it must hold the Float or Int value the extractor
+// returns); for grouped queries, keyField declares the string field
+// GroupBy keys on. The declarations are verified against the
+// extractors on every batch, and any mismatch — or any batch outside
+// the kernels' reach (mixed-kind columns, missing fields, count-based
+// windows) — falls back to the row path automatically, so results,
+// including the accelerate/exact decision of every window, are
+// bit-identical to a non-columnar run. A wrong declaration costs
+// speed, never correctness. Only the SPEAr backend has columnar
+// kernels; baseline backends silently keep the row path.
+func (q *Query) Columnar(valueField int, keyField ...int) *Query {
+	if valueField < 0 {
+		return q.errf("Columnar value field %d negative", valueField)
+	}
+	if len(keyField) > 1 {
+		return q.errf("Columnar takes at most one key field")
+	}
+	q.colOn = true
+	q.colValueField = valueField
+	if len(keyField) == 1 {
+		if keyField[0] < 0 {
+			return q.errf("Columnar key field %d negative", keyField[0])
+		}
+		q.colKeyField = keyField[0]
+	}
 	return q
 }
 
@@ -791,6 +832,7 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	tp := spe.NewTopology(spe.Config{
 		QueueSize:       q.queueSize,
 		BatchSize:       q.batchSize,
+		Columnar:        q.colOn,
 		WatermarkPeriod: wmPeriod,
 		WatermarkLag:    int64(q.wmLag),
 		Checkpoint:      hooks,
