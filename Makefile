@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill bench-shuffle bench-columnar e2e-dist
+.PHONY: check build vet lint lint-ssa test race recovery obs obs-scrape fuzz bench-checkpoint bench-pipeline bench-spill bench-shuffle bench-columnar bench-adaptive e2e-dist
 
 check: build vet lint lint-ssa race recovery obs
 
@@ -104,6 +104,15 @@ bench-pipeline:
 # in-run per configuration).
 bench-columnar:
 	$(GO) run ./cmd/spear-bench -experiment columnar -benchjson BENCH_columnar.json
+
+# Adaptive accuracy controller: a 10s stream with an 8x load spike over
+# a 10ms-per-write archive store, fixed budget vs LatencySLO-driven
+# controller, writing BENCH_adaptive.json (acceptance: adaptive p95 <
+# fixed p95; fixed misses the 150ms SLO at burst p95; adaptive holds it
+# over the late burst; realized per-window error within the reported
+# contract at ≥ the confidence level, every rep — all enforced in-run).
+bench-adaptive:
+	$(GO) run ./cmd/spear-bench -experiment adaptive -benchjson BENCH_adaptive.json
 
 # Network shuffle: the TCP transport fabric vs the in-process channel
 # fabric at par 1/4, writing BENCH_shuffle.json (acceptance: TCP rows

@@ -107,6 +107,7 @@ func runHotLoop(p *Pkg) []Finding {
 	}
 	if inScope(p, hotTupleScope...) {
 		out = append(out, runHotManagers(p)...)
+		out = append(out, runControlCell(p)...)
 	}
 	if inScope(p, spillSeamScope...) {
 		out = append(out, runDirectSpill(p)...)
@@ -773,6 +774,161 @@ func scanMutexMetric(p *Pkg, body *ast.BlockStmt, where string) []Finding {
 		}
 		return true
 	})
+	return out
+}
+
+// controlCellReads is the whole hot-path surface of the controller
+// cell: the two atomic loads. Everything else on the cell — Set above
+// all — is a publish, and publishing from the data path inverts the
+// control flow the cell exists to keep one-directional (controller and
+// restore write; managers read at batch boundaries).
+var controlCellReads = map[string]bool{
+	"Budget":   true,
+	"Shedding": true,
+}
+
+// runControlCell flags control.Cell method calls other than the atomic
+// reads (Budget, Shedding) on any path reachable from the manager entry
+// points OnTuple/OnTupleBatch/OnColumnBatch, package-local helpers
+// (syncControl and friends) included. The loader's stub importer leaves
+// cross-package types opaque, so classification is syntactic like the
+// spill-seam check: a name is "a controller cell" iff it is declared —
+// as a field, parameter, or receiver — with type Cell or control.Cell,
+// and local `x := <cell expr>` aliases inside reachable bodies ride
+// along. Reachability matches runDirectSpill: seed bodies plus
+// package-local call expansion to a fixed point.
+func runControlCell(p *Pkg) []Finding {
+	if p.Info == nil {
+		return nil
+	}
+	isCellType := func(e ast.Expr) bool {
+		ts := strings.TrimPrefix(types.ExprString(e), "*")
+		return ts == "Cell" || ts == "control.Cell"
+	}
+	cellObjs := map[types.Object]bool{}
+	record := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if f.Type == nil || !isCellType(f.Type) {
+				continue
+			}
+			for _, n := range f.Names {
+				if obj := p.Info.Defs[n]; obj != nil {
+					cellObjs[obj] = true
+				}
+			}
+		}
+	}
+	decls := map[types.Object]*ast.FuncDecl{}
+	var seeds []*ast.FuncDecl
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				record(n.Fields)
+			case *ast.FuncDecl:
+				record(n.Recv)
+				record(n.Type.Params)
+			}
+			return true
+		})
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			if fd.Recv != nil && (fd.Name.Name == "OnTuple" || fd.Name.Name == "OnTupleBatch" || fd.Name.Name == "OnColumnBatch") {
+				seeds = append(seeds, fd)
+			}
+		}
+	}
+	if len(seeds) == 0 || len(cellObjs) == 0 {
+		return nil
+	}
+
+	// isCellExpr resolves an expression to a known cell object: a bare
+	// ident, the trailing field of a selector chain (m.cfg.Cell), or a
+	// parenthesization of either.
+	var isCellExpr func(e ast.Expr) bool
+	isCellExpr = func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return cellObjs[p.Info.Uses[x]]
+		case *ast.SelectorExpr:
+			return cellObjs[p.Info.Uses[x.Sel]]
+		case *ast.ParenExpr:
+			return isCellExpr(x.X)
+		}
+		return false
+	}
+
+	var work []*ast.BlockStmt
+	seen := map[*ast.BlockStmt]bool{}
+	push := func(b *ast.BlockStmt) {
+		if b != nil && !seen[b] {
+			seen[b] = true
+			work = append(work, b)
+		}
+	}
+	for _, s := range seeds {
+		push(s.Body)
+	}
+	var out []Finding
+	for i := 0; i < len(work); i++ {
+		// Local aliases first (`c := m.cfg.Cell`), so the flag pass below
+		// sees through the one level of indirection syncControl uses.
+		ast.Inspect(work[i], func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for j, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && isCellExpr(as.Rhs[j]) {
+					if obj := p.Info.Defs[id]; obj != nil {
+						cellObjs[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(work[i], func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+			if id != nil {
+				if obj := p.Info.Uses[id]; obj != nil {
+					if d, ok := decls[obj]; ok {
+						push(d.Body)
+					}
+				}
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || controlCellReads[sel.Sel.Name] || !isCellExpr(sel.X) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(call.Pos()),
+				Check: "hotloop",
+				Msg: "control.Cell." + sel.Sel.Name + " call reachable from OnTuple/OnTupleBatch/OnColumnBatch; " +
+					"the hot path may only read the cell (Budget/Shedding, single atomic loads) — " +
+					"publishing belongs to the controller and the checkpoint-restore path",
+			})
+			return true
+		})
+	}
 	return out
 }
 

@@ -208,6 +208,25 @@ func TestSpillSeamOutOfScope(t *testing.T) {
 	}
 }
 
+// TestControlCell is the controller-cell side of the hotloop analyzer:
+// control.Cell writes (Set — anything beyond the Budget/Shedding atomic
+// reads) reachable from OnTuple/OnTupleBatch/OnColumnBatch, including
+// through package-local helpers and the `c := m.cfg.Cell` alias, must
+// be flagged, while the sanctioned reads, snapshot-time republishing,
+// and non-cell Set methods stay quiet.
+func TestControlCell(t *testing.T) {
+	checkFixture(t, analyzerHotLoop, "controlcell", "internal/core")
+}
+
+func TestControlCellOutOfScope(t *testing.T) {
+	for _, rel := range []string{"internal/spe", "internal/fixture"} {
+		pkg := loadFixture(t, filepath.Join("testdata", "src", "controlcell"), rel)
+		if fs := runAnalyzers([]*Pkg{pkg}, []*Analyzer{analyzerHotLoop}); len(fs) != 0 {
+			t.Errorf("controlcell as %s should be clean, got %d findings", rel, len(fs))
+		}
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	checkFixture(t, analyzerGlobalRand, "suppress", "internal/fixture")
 }

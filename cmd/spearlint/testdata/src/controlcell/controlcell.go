@@ -1,0 +1,85 @@
+// Package controlcell is a spearlint fixture mirroring the adaptive
+// accuracy controller's cell contract in the managers: on any path
+// reachable from OnTuple/OnTupleBatch/OnColumnBatch the cell may only
+// be READ — Budget and Shedding, single atomic loads — never written.
+// The analyzer must flag cell writes on those paths (including through
+// package-local helpers and through the `c := m.cfg.Cell` alias the
+// real syncControl uses), and must stay quiet about the sanctioned
+// reads, snapshot-time republishing the entry points never reach, and
+// non-cell types that happen to have a Set method.
+package controlcell
+
+// Cell stands in for control.Cell: the controller-to-manager mailbox.
+type Cell struct{ b, s int64 }
+
+func (c *Cell) Budget() int    { return int(c.b) }
+func (c *Cell) Shedding() bool { return c.s != 0 }
+func (c *Cell) Set(budget int, shed bool) {
+	c.b = int64(budget)
+	if shed {
+		c.s = 1
+	} else {
+		c.s = 0
+	}
+}
+
+// gauge is NOT a cell; its Set is an ordinary metric write and must
+// stay quiet even on per-tuple paths.
+type gauge struct{ v int64 }
+
+func (g *gauge) Set(v int64) { g.v = v }
+
+// Config mirrors core.Config.
+type Config struct {
+	Cell *Cell
+}
+
+// Manager mimics core.ScalarManager.
+type Manager struct {
+	cfg    Config
+	cur    int
+	shed   bool
+	budget gauge
+}
+
+// syncControl mirrors the real managers: pull the published state at
+// the batch boundary. Reads are the sanctioned surface; the write-back
+// into the local gauge is not a cell call.
+func (m *Manager) syncControl() {
+	c := m.cfg.Cell
+	if c == nil {
+		return
+	}
+	if b := c.Budget(); b != m.cur {
+		m.cur = b
+		m.budget.Set(int64(b))
+	}
+	m.shed = c.Shedding()
+}
+
+func (m *Manager) OnTuple(ts int64) {
+	m.syncControl()
+	if m.cur == 0 {
+		m.cfg.Cell.Set(1, false) // want "control.Cell.Set"
+	}
+}
+
+func (m *Manager) OnTupleBatch(ts []int64) {
+	m.syncControl()
+	m.republish()
+}
+
+// republish is one package-local hop below OnTupleBatch: the write
+// through the alias is reachable per batch and must be flagged.
+func (m *Manager) republish() {
+	c := m.cfg.Cell
+	c.Set(m.cur, m.shed) // want "control.Cell.Set"
+}
+
+// RestoreState is snapshot-time code the entry points never reach: the
+// cell write here is the sanctioned recovery republish and must stay
+// quiet.
+func (m *Manager) RestoreState(budget int) {
+	m.cur = budget
+	m.cfg.Cell.Set(budget, false)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spear/internal/checkpoint"
+	"spear/internal/control"
 	"spear/internal/core"
 	"spear/internal/metrics"
 	"spear/internal/obs"
@@ -165,6 +166,10 @@ func (q *Query) assembleRuntime() (storage.SpillStore, *spill.Plane, *metrics.Re
 // keys, and telemetry names agree across processes.
 func (q *Query) managerFactory(plane *spill.Plane, reg *metrics.Registry, deferDeletes bool) spe.ManagerFactory {
 	return func(wi int) (core.Manager, error) {
+		var cell *control.Cell
+		if wi < len(q.controlCells) {
+			cell = q.controlCells[wi]
+		}
 		cfg := core.Config{
 			Spec:               q.spec,
 			Agg:                q.aggFunc,
@@ -184,6 +189,7 @@ func (q *Query) managerFactory(plane *spill.Plane, reg *metrics.Registry, deferD
 			GroupedEstimator:   q.groupedEst,
 			Metrics:            reg.Worker(fmt.Sprintf("%s[%d]", q.name, wi)),
 			Budget:             q.budgetPolicy,
+			Cell:               cell,
 			// The spec only authorizes the columnar kernels; it never
 			// changes results, so it stays out of topoHash and shard
 			// nodes (which drive the row batch path regardless) may

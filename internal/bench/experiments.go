@@ -50,13 +50,14 @@ var Experiments = map[string]func(Options) ([]*Table, error){
 	"columnar":   Columnar,
 	"spill":      Spill,
 	"shuffle":    Shuffle,
+	"adaptive":   Adaptive,
 }
 
 // ExperimentIDs returns all experiment ids in presentation order.
 func ExperimentIDs() []string {
 	return []string{"table1", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig8d", "table2", "fig9", "fig10", "fig11", "fig12", "checkpoint",
-		"pipeline", "columnar", "spill", "shuffle"}
+		"pipeline", "columnar", "spill", "shuffle", "adaptive"}
 }
 
 // ---- dataset-specific query builders ----

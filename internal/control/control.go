@@ -1,0 +1,306 @@
+// Package control implements the adaptive accuracy controller: a
+// feedback loop from the observability plane's latency/lag snapshots to
+// every manager's sample budget. SPEAr's budget b is static per query
+// (§3: the accelerate-vs-exact decision is a binary against a fixed
+// sample size); this package closes the loop in the spirit of
+// StreamApprox's adaptive stratified sampling — under overload the
+// controller tightens budgets toward a floor to hold a latency SLO,
+// and past the floor it sheds archive writes (trading the exact
+// fallback for sample-only answers with the realized bound reported);
+// when the pipeline has headroom it recovers in the reverse order.
+// Hysteresis bands and a cooldown keep it from thrashing.
+//
+// The data plane never calls into the controller. Each manager holds a
+// *Cell — a pair of atomics the controller writes and the manager reads
+// at batch boundaries — so a budget read on the OnTuple* hot paths is
+// one atomic load, never a lock or an allocation (enforced by the
+// spearlint hotloop analyzer).
+package control
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"spear/internal/obs"
+)
+
+// Cell is the lock-free mailbox between the controller and one
+// manager: the target tuple budget and the shedding flag. The
+// controller writes it from the reporter goroutine; the manager reads
+// it at the top of every OnTuple/OnTupleBatch/OnColumnBatch call and
+// applies changes (reservoir resizes) outside any per-tuple loop.
+type Cell struct {
+	budget atomic.Int64
+	shed   atomic.Bool
+}
+
+// NewCell returns a cell holding the starting budget.
+func NewCell(budget int) *Cell {
+	c := &Cell{}
+	c.budget.Store(int64(budget))
+	return c
+}
+
+// Budget returns the current target budget in tuples.
+func (c *Cell) Budget() int { return int(c.budget.Load()) }
+
+// Shedding reports whether archive writes should currently be shed.
+func (c *Cell) Shedding() bool { return c.shed.Load() }
+
+// Set publishes a new target budget and shedding state.
+func (c *Cell) Set(budget int, shed bool) {
+	c.budget.Store(int64(budget))
+	c.shed.Store(shed)
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// SLO is the target end-to-end latency: the controller acts when
+	// the worst worker's watermark lag exceeds it. Required.
+	SLO time.Duration
+	// Min and Max bound the tuple budget. Min defaults to 1; Max to
+	// the cells' starting budget (read at the first decision).
+	Min, Max int
+	// Shrink multiplies the budget on a tighten decision (default 0.5)
+	// and Grow on an expand decision (default 1.5) — multiplicative
+	// decrease, gentler multiplicative recovery.
+	Shrink, Grow float64
+	// LowFrac is the hysteresis floor: lag below LowFrac·SLO (and no
+	// queue near saturation) counts as headroom (default 0.5). Between
+	// LowFrac·SLO and SLO the controller holds.
+	LowFrac float64
+	// ShedFrac escalates to load shedding: once the budget sits at Min
+	// and lag still exceeds ShedFrac·SLO, archive writes are shed
+	// (default 2.0).
+	ShedFrac float64
+	// QueueHigh treats any edge at or above this fill fraction as
+	// overload regardless of lag (default 0.9).
+	QueueHigh float64
+	// ShedRecoverFrac gates shed recovery on the observed input rate.
+	// Lag alone cannot distinguish a pipeline that is healthy from one
+	// that is healthy only because it is shedding, so recovering on
+	// headroom alone oscillates under a sustained spike: shed, catch
+	// up, stop shedding, relapse. The controller remembers the source
+	// rate at which shedding engaged and drops shedding only once the
+	// current rate falls below ShedRecoverFrac of it (default 0.8).
+	// When the engage rate is unknown — shedding was restored from a
+	// checkpoint or written into the cells externally — headroom alone
+	// recovers.
+	ShedRecoverFrac float64
+	// Cooldown is the minimum time between decisions that change
+	// state, so one action's effect is observed before the next
+	// (default 500ms).
+	Cooldown time.Duration
+	// Clock is injectable for tests (defaults to time.Now).
+	Clock func() time.Time
+}
+
+func (c *Config) defaults() {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Shrink <= 0 || c.Shrink >= 1 {
+		c.Shrink = 0.5
+	}
+	if c.Grow <= 1 {
+		c.Grow = 1.5
+	}
+	if c.LowFrac <= 0 || c.LowFrac >= 1 {
+		c.LowFrac = 0.5
+	}
+	if c.ShedFrac < 1 {
+		c.ShedFrac = 2.0
+	}
+	if c.QueueHigh <= 0 || c.QueueHigh > 1 {
+		c.QueueHigh = 0.9
+	}
+	if c.ShedRecoverFrac <= 0 || c.ShedRecoverFrac >= 1 {
+		c.ShedRecoverFrac = 0.8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+// Decision indices for the controller's action counters.
+const (
+	decTighten = iota
+	decExpand
+	decShedOn
+	decShedOff
+	decHold
+	decCount
+)
+
+// Controller turns obs-plane snapshots into budget/shed decisions and
+// publishes them to every cell. Observe is called from the reporter
+// goroutine; all other state is read atomically by the obs snapshot
+// path, so the controller itself needs no lock.
+type Controller struct {
+	cfg   Config
+	cells []*Cell
+
+	// Decision-loop state, touched only from Observe.
+	lastChange    time.Time
+	maxSet        bool
+	prevSrcAt     time.Time
+	prevSrcTuples int64
+	srcRate       float64 // tuples/s over the last observation interval
+	rateAtShed    float64 // source rate when shedding last engaged; 0 = unknown
+
+	// Telemetry, read concurrently by ControlSnapshot.
+	decisions    [decCount]atomic.Int64
+	lagNanos     atomic.Int64
+	fillPct      atomic.Int64 // worst edge fill ×1e4
+	target       atomic.Int64
+	shedding     atomic.Bool
+	srcRateBits  atomic.Uint64 // float64 bits
+	shedRateBits atomic.Uint64 // float64 bits
+}
+
+// New returns a controller driving the given cells. All cells receive
+// the same target: the control decision is global (the slowest worker
+// gates the watermark, so per-worker budgets would only skew samples
+// without helping latency).
+func New(cfg Config, cells []*Cell) *Controller {
+	cfg.defaults()
+	c := &Controller{cfg: cfg, cells: cells}
+	if len(cells) > 0 {
+		c.target.Store(int64(cells[0].Budget()))
+	}
+	return c
+}
+
+// Observe folds one obs-plane snapshot into a control decision. The
+// cells are the source of truth for the current budget (checkpoint
+// recovery rewrites them underneath the controller), so each decision
+// starts from the cell state rather than remembered state.
+func (c *Controller) Observe(s *obs.Snapshot) {
+	if s == nil || len(c.cells) == 0 {
+		return
+	}
+	var lag int64
+	sawLag := false
+	for _, w := range s.Workers {
+		if w.Valid {
+			sawLag = true
+			if w.LagNanos > lag {
+				lag = w.LagNanos
+			}
+		}
+	}
+	fill := 0.0
+	for _, e := range s.Edges {
+		if e.Fill > fill {
+			fill = e.Fill
+		}
+	}
+	c.lagNanos.Store(lag)
+	c.fillPct.Store(int64(fill * 1e4))
+	if !s.At.IsZero() {
+		if !c.prevSrcAt.IsZero() {
+			if dt := s.At.Sub(c.prevSrcAt).Seconds(); dt > 0 {
+				c.srcRate = float64(s.SourceTuples-c.prevSrcTuples) / dt
+				c.srcRateBits.Store(math.Float64bits(c.srcRate))
+			}
+		}
+		c.prevSrcAt, c.prevSrcTuples = s.At, s.SourceTuples
+	}
+	if !sawLag {
+		return // no worker has seen a watermark yet: nothing to react to
+	}
+
+	budget := c.cells[0].Budget()
+	shed := c.cells[0].Shedding()
+	c.target.Store(int64(budget))
+	c.shedding.Store(shed)
+	max := c.cfg.Max
+	if max <= 0 {
+		if !c.maxSet {
+			// Default ceiling: the budget the query started with.
+			c.cfg.Max = budget
+			c.maxSet = true
+		}
+		max = c.cfg.Max
+	}
+
+	now := c.cfg.Clock()
+	if !c.lastChange.IsZero() && now.Sub(c.lastChange) < c.cfg.Cooldown {
+		c.decisions[decHold].Add(1)
+		return
+	}
+
+	slo := float64(c.cfg.SLO)
+	overload := float64(lag) > slo || fill >= c.cfg.QueueHigh
+	headroom := float64(lag) < c.cfg.LowFrac*slo && fill < c.cfg.QueueHigh/2
+
+	newBudget, newShed := budget, shed
+	decision := decHold
+	switch {
+	case overload:
+		if budget > c.cfg.Min {
+			newBudget = int(float64(budget) * c.cfg.Shrink)
+			if newBudget < c.cfg.Min {
+				newBudget = c.cfg.Min
+			}
+			decision = decTighten
+		} else if !shed && float64(lag) > c.cfg.ShedFrac*slo {
+			newShed = true
+			decision = decShedOn
+			c.rateAtShed = c.srcRate
+			c.shedRateBits.Store(math.Float64bits(c.rateAtShed))
+		}
+	case headroom:
+		if shed {
+			// Recover in reverse escalation order: stop shedding
+			// first, grow the budget back only once that holds — and
+			// only once the input rate that forced shedding has
+			// actually subsided (see Config.ShedRecoverFrac).
+			if c.rateAtShed <= 0 || c.srcRate < c.cfg.ShedRecoverFrac*c.rateAtShed {
+				newShed = false
+				decision = decShedOff
+			}
+		} else if budget < max {
+			newBudget = int(float64(budget)*c.cfg.Grow) + 1
+			if newBudget > max {
+				newBudget = max
+			}
+			decision = decExpand
+		}
+	}
+	c.decisions[decision].Add(1)
+	if decision == decHold {
+		return
+	}
+	for _, cell := range c.cells {
+		cell.Set(newBudget, newShed)
+	}
+	c.target.Store(int64(newBudget))
+	c.shedding.Store(newShed)
+	c.lastChange = now
+}
+
+// ControlSnapshot implements obs.ControlSource, exposing the
+// controller's state to the snapshot/Prometheus plane.
+func (c *Controller) ControlSnapshot() *obs.ControlSnapshot {
+	return &obs.ControlSnapshot{
+		SLONanos:     int64(c.cfg.SLO),
+		TargetBudget: int(c.target.Load()),
+		MinBudget:    c.cfg.Min,
+		MaxBudget:    c.cfg.Max,
+		Shedding:     c.shedding.Load(),
+		LagNanos:     c.lagNanos.Load(),
+		QueueFill:    float64(c.fillPct.Load()) / 1e4,
+		SourceRate:   math.Float64frombits(c.srcRateBits.Load()),
+		ShedRate:     math.Float64frombits(c.shedRateBits.Load()),
+		Tighten:      c.decisions[decTighten].Load(),
+		Expand:       c.decisions[decExpand].Load(),
+		ShedOn:       c.decisions[decShedOn].Load(),
+		ShedOff:      c.decisions[decShedOff].Load(),
+		Hold:         c.decisions[decHold].Load(),
+	}
+}

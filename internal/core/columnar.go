@@ -48,6 +48,7 @@ func (m *ScalarManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	m.syncControl()
 	rows := cb.Rows()
 	if !m.cfg.Columnar.Enabled || m.cfg.Spec.Domain == window.CountDomain {
 		return m.OnTupleBatch(rows)
@@ -101,9 +102,9 @@ func (m *ScalarManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
 				var ok bool
 				w, ok = m.wins[id]
 				if !ok {
-					w = &scalarWin{
-						res:   sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL),
-						first: ts[i0],
+					w = &scalarWin{first: ts[i0]}
+					if m.curBudget > 0 {
+						w.res = sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
 					}
 					if m.useIncremental() {
 						w.inc, _ = agg.NewIncremental(m.cfg.Agg)
@@ -112,11 +113,25 @@ func (m *ScalarManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
 				}
 				m.lastID, m.lastWin = id, w
 			}
-			w.res.AddSlice(run)
+			if w.res != nil {
+				w.res.AddSlice(run)
+			}
 			w.all.AddSlice(run)
 			if w.inc != nil {
 				w.inc.AddSlice(run)
 			}
+			if m.shed {
+				w.tainted = true
+			}
+		}
+		if m.shed {
+			// Shedding skips the archive appends for the whole run —
+			// mirroring the per-tuple path's skip of arc.add.
+			m.sheds += int64(i1 - i0)
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.TuplesShed.Add(int64(i1 - i0))
+			}
+			return
 		}
 		for i := i0; i < i1; i++ {
 			if err := m.arc.add(rows[i]); err != nil {
@@ -149,6 +164,7 @@ func (m *GroupedManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
 	if n == 0 {
 		return nil, nil
 	}
+	m.syncControl()
 	rows := cb.Rows()
 	if !m.cfg.Columnar.Enabled || m.arc == nil || m.cfg.Spec.Domain == window.CountDomain {
 		return m.OnTupleBatch(rows)
@@ -193,13 +209,24 @@ func (m *GroupedManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
 				w, ok := m.wins[id]
 				if !ok {
 					w = &groupedWin{gs: sample.NewGroupStats()}
-					w.known = sample.NewGroupReservoirs(
-						m.perGroupCap(), sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
+					if pg := m.perGroupCap(); pg > 0 {
+						w.known = sample.NewGroupReservoirs(
+							pg, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
+					}
 					m.wins[id] = w
 				}
-				for i := i0; i < i1; i++ {
-					w.gs.Add(dict[codes[i]], vals[i])
-					w.known.Add(dict[codes[i]], vals[i])
+				if w.known != nil {
+					for i := i0; i < i1; i++ {
+						w.gs.Add(dict[codes[i]], vals[i])
+						w.known.Add(dict[codes[i]], vals[i])
+					}
+				} else {
+					for i := i0; i < i1; i++ {
+						w.gs.Add(dict[codes[i]], vals[i])
+					}
+				}
+				if m.shed {
+					w.tainted = true
 				}
 			}
 		} else {
@@ -210,6 +237,13 @@ func (m *GroupedManager) OnColumnBatch(cb *col.ColumnBatch) ([]Result, error) {
 		}
 		// The grouped archive keeps late tuples too (they are dropped
 		// from results, not from S) — same as the per-tuple path.
+		if m.shed {
+			m.sheds += int64(i1 - i0)
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.TuplesShed.Add(int64(i1 - i0))
+			}
+			return
+		}
 		for i := i0; i < i1; i++ {
 			if err := m.arc.add(rows[i]); err != nil {
 				archiveErr = err

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"spear/internal/agg"
+	"spear/internal/control"
 	"spear/internal/metrics"
 	"spear/internal/storage"
 	"spear/internal/tuple"
@@ -107,8 +108,16 @@ type Config struct {
 
 	// Budget, when non-nil, adapts the budget online between windows
 	// (the paper's future-work extension); BudgetTuples is then the
-	// starting value.
+	// starting value. Ignored while Cell is attached — the controller
+	// and a per-window policy must not both steer the budget.
 	Budget BudgetPolicy
+
+	// Cell, when non-nil, is the adaptive accuracy controller's
+	// mailbox (internal/control): the manager reads the published
+	// budget and shedding flag at every ingest entry point — two
+	// atomic loads — and applies changes at batch boundaries.
+	// BudgetTuples is the starting value the cell was created with.
+	Cell *control.Cell
 
 	// Columnar opts the manager into the columnar ingest fast lane:
 	// when enabled, the engine delivers micro-batches as typed column

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"spear/internal/agg"
@@ -37,6 +38,15 @@ type GroupedManager struct {
 	cfg Config
 	est GroupedEstimator
 
+	// curBudget is the live tuple budget b: cfg.BudgetTuples at start,
+	// retuned online through cfg.Cell by the adaptive controller.
+	curBudget int
+	// shed mirrors the controller's shedding flag: while set, the known
+	// path skips archive writes (the saturating per-tuple cost) and
+	// taints affected windows; group metadata and reservoirs stay live.
+	shed  bool
+	sheds int64
+
 	// Buffered path (unknown groups).
 	buf *window.SingleBuffer
 
@@ -55,7 +65,11 @@ type GroupedManager struct {
 
 type groupedWin struct {
 	gs    *sample.GroupStats
-	known *sample.GroupReservoirs // non-nil iff KnownGroups > 0
+	known *sample.GroupReservoirs // per-group reservoirs; nil when unknown groups or per-group cap was 0 at creation
+	// tainted marks that load shedding skipped archive writes while the
+	// window was open: its pane set in S is incomplete and the exact
+	// fallback is no longer available.
+	tainted bool
 }
 
 // NewGroupedManager returns a manager for cfg. cfg.KeyBy must be set.
@@ -71,10 +85,14 @@ func NewGroupedManager(cfg Config) (*GroupedManager, error) {
 		est = defaultGroupedEstimator(cfg.Agg)
 	}
 	m := &GroupedManager{
-		cfg:  cfg,
-		est:  est,
-		wins: make(map[window.ID]*groupedWin),
-		now:  cfg.clock(),
+		cfg:       cfg,
+		est:       est,
+		curBudget: cfg.BudgetTuples,
+		wins:      make(map[window.ID]*groupedWin),
+		now:       cfg.clock(),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.BudgetTuples.Set(int64(m.curBudget))
 	}
 	if cfg.KnownGroups > 0 {
 		m.arc = newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk, cfg.DeferStoreDeletes)
@@ -102,21 +120,88 @@ func (m *GroupedManager) incrementalApplies(id window.ID) bool {
 		return false
 	}
 	w, ok := m.wins[id]
-	return ok && w.gs.Len() > 0 && w.gs.Len() <= m.cfg.BudgetTuples
+	return ok && w.gs.Len() > 0 && w.gs.Len() <= m.curBudget
 }
 
+// perGroupCap divides the live budget equally across the declared
+// groups. It deliberately floors to zero, not one: with more groups
+// than budget tuples there is no per-group allocation that respects the
+// aggregate budget (the old floor-to-1 let the sample grow to
+// KnownGroups tuples, silently exceeding b and disagreeing with the
+// buffered path's ≤ b gate). Zero means "no reservoirs" — windows
+// opened under it carry metadata only and are answered exactly.
 func (m *GroupedManager) perGroupCap() int {
-	n := m.cfg.BudgetTuples / m.cfg.KnownGroups
-	if n < 1 {
-		n = 1
+	return m.curBudget / m.cfg.KnownGroups
+}
+
+// syncControl applies the controller cell's published budget and
+// shedding flag. Called once at every ingest entry point: two atomic
+// loads in the common (unchanged) case.
+func (m *GroupedManager) syncControl() {
+	c := m.cfg.Cell
+	if c == nil {
+		return
 	}
-	return n
+	if b := c.Budget(); b != m.curBudget {
+		m.SetBudget(b)
+	}
+	m.SetShedding(c.Shedding())
+}
+
+// SetBudget retunes the live budget to b tuples, resizing every open
+// window's per-group reservoirs (known path) so shrinking degrades
+// per-group error evenly. A budget of zero (or a per-group cap of zero)
+// drops the reservoirs: subsequent windows are metadata-only and
+// answered exactly. Windows opened without reservoirs stay without them
+// — a reservoir cannot be built retroactively.
+func (m *GroupedManager) SetBudget(b int) {
+	if b < 0 {
+		b = 0
+	}
+	if b == m.curBudget {
+		return
+	}
+	m.curBudget = b
+	if m.cfg.KnownGroups > 0 {
+		pg := m.perGroupCap()
+		for _, w := range m.wins {
+			if w.known == nil {
+				continue
+			}
+			if pg <= 0 {
+				w.known = nil
+			} else {
+				w.known.Resize(pg)
+			}
+		}
+	}
+	if m.shed && !m.canShed() {
+		m.shed = false
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.BudgetTuples.Set(int64(b))
+	}
+}
+
+// canShed reports whether shedding is meaningful right now: only the
+// known-groups path archives tuples (the buffered path has nothing to
+// skip), and only while reservoirs exist to answer from afterwards.
+func (m *GroupedManager) canShed() bool {
+	return m.arc != nil && m.cfg.KnownGroups > 0 && m.perGroupCap() > 0
+}
+
+// SetShedding turns archive-write shedding on or off. Refused when the
+// manager has no archive or no reservoir capacity — shedding with no
+// sample to fall back on would leave windows unanswerable.
+func (m *GroupedManager) SetShedding(on bool) {
+	m.shed = on && m.canShed()
 }
 
 // OnTuple implements Manager: fold the tuple into each active window's
 // group metadata, then buffer it (unknown groups) or archive it to S
 // (known groups).
 func (m *GroupedManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	m.syncControl()
 	rs, err := m.ingest(t)
 	if err != nil {
 		return rs, err
@@ -131,6 +216,7 @@ func (m *GroupedManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 // OnTupleBatch implements BatchManager: identical per-tuple state
 // transitions with the telemetry updates amortized once per batch.
 func (m *GroupedManager) OnTupleBatch(ts []tuple.Tuple) ([]Result, error) {
+	m.syncControl()
 	var out []Result
 	done := 0
 	for i := range ts {
@@ -188,14 +274,19 @@ func (m *GroupedManager) ingest(t tuple.Tuple) ([]Result, error) {
 			if !ok {
 				w = &groupedWin{gs: sample.NewGroupStats()}
 				if m.cfg.KnownGroups > 0 {
-					w.known = sample.NewGroupReservoirs(
-						m.perGroupCap(), sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
+					if pg := m.perGroupCap(); pg > 0 {
+						w.known = sample.NewGroupReservoirs(
+							pg, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
+					}
 				}
 				m.wins[id] = w
 			}
 			w.gs.Add(key, val)
 			if w.known != nil {
 				w.known.Add(key, val)
+			}
+			if m.shed {
+				w.tainted = true
 			}
 		}
 	} else if m.arc != nil {
@@ -206,7 +297,16 @@ func (m *GroupedManager) ingest(t tuple.Tuple) ([]Result, error) {
 	}
 
 	if m.arc != nil {
-		if err := m.arc.add(t); err != nil {
+		if m.shed {
+			// Load shedding: skip the archive write — the saturating
+			// per-tuple cost under overload. Group metadata and the
+			// reservoirs above stay exact/uniform; only the exact
+			// fallback is forfeited (windows were tainted above).
+			m.sheds++
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.TuplesShed.Inc()
+			}
+		} else if err := m.arc.add(t); err != nil {
 			return nil, err
 		}
 		if m.cfg.Spec.Domain == window.CountDomain {
@@ -290,16 +390,27 @@ func (m *GroupedManager) produceKnown(id window.ID) (*Result, error) {
 	}
 	t0 := m.now()
 	startPos, endPos := m.cfg.Spec.Bounds(id)
-	res := Result{WindowID: id, Start: startPos, End: endPos, N: w.gs.Total()}
-
-	alloc := make(map[string]int, w.known.Len())
-	w.known.Each(func(key string, r *sample.Reservoir) { alloc[key] = r.Len() })
-	state := GroupedState{
-		Groups: w.gs, Alloc: alloc, N: res.N,
-		Epsilon: m.cfg.Epsilon, Confidence: m.cfg.Confidence, Agg: m.cfg.Agg,
+	res := Result{
+		WindowID: id, Start: startPos, End: endPos, N: w.gs.Total(),
+		Epsilon: m.cfg.Epsilon, Confidence: m.cfg.Confidence, Budget: m.curBudget,
 	}
-	if estErr, ok := m.est(state); ok && estErr <= m.cfg.Epsilon {
-		// The stratified sample was built at tuple arrival: O(b).
+
+	var estErr float64
+	estOK := false
+	if w.known != nil {
+		alloc := make(map[string]int, w.known.Len())
+		w.known.Each(func(key string, r *sample.Reservoir) { alloc[key] = r.Len() })
+		state := GroupedState{
+			Groups: w.gs, Alloc: alloc, N: res.N,
+			Epsilon: m.cfg.Epsilon, Confidence: m.cfg.Confidence, Agg: m.cfg.Agg,
+		}
+		estErr, estOK = m.est(state)
+	}
+	switch {
+	case estOK && estErr <= m.cfg.Epsilon:
+		// The stratified sample was built at tuple arrival: O(b). A
+		// shed (tainted) window lands here too when its bound passes —
+		// the contract is met and the shed stays invisible.
 		res.Mode = ModeSampled
 		res.EstError = estErr
 		res.Groups = make(map[string]float64, w.known.Len())
@@ -309,7 +420,49 @@ func (m *GroupedManager) produceKnown(id window.ID) (*Result, error) {
 			sn += r.Len()
 		})
 		res.SampleN = sn
-	} else {
+	case w.tainted:
+		// The accuracy check failed but shedding skipped archive
+		// writes for this window: its pane set in S is incomplete, so
+		// the exact fetch is gone. Non-holistic operations are still
+		// answered exactly from the per-group metadata (Welford state
+		// is immune to shedding); holistic ones emit the best-effort
+		// sample answer as ModeShed with the realized bound.
+		if m.cfg.Agg.Incremental() && !m.cfg.DisableIncremental {
+			res.Mode = ModeIncremental
+			res.Groups = make(map[string]float64, w.gs.Len())
+			w.gs.Each(func(key string, wf *stats.Welford) {
+				v, _ := m.cfg.Agg.FromWelford(wf)
+				res.Groups[key] = v
+			})
+			res.SampleN = int(res.N)
+		} else {
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.EstimationFailures.Inc()
+			}
+			res.Mode = ModeShed
+			if estOK {
+				res.EstError = estErr
+			} else {
+				res.EstError = math.Inf(1)
+			}
+			res.Groups = make(map[string]float64, w.gs.Len())
+			if w.known != nil {
+				sn := 0
+				w.known.Each(func(key string, r *sample.Reservoir) {
+					res.Groups[key] = m.cfg.Agg.Estimate(r.Items(), r.Seen())
+					sn += r.Len()
+				})
+				res.SampleN = sn
+			} else {
+				// Degenerate corner: budget collapsed to zero after the
+				// window was tainted. Metadata is all that is left.
+				w.gs.Each(func(key string, wf *stats.Welford) {
+					v, _ := m.cfg.Agg.FromWelford(wf)
+					res.Groups[key] = v
+				})
+			}
+		}
+	default:
 		if m.cfg.Metrics != nil {
 			m.cfg.Metrics.EstimationFailures.Inc()
 		}
@@ -357,10 +510,13 @@ func (m *GroupedManager) produceBuffered(completes []window.Complete, scanShare 
 func (m *GroupedManager) produceFromWindow(c window.Complete, scanShare time.Duration) Result {
 	t0 := m.now()
 	res := Result{
-		WindowID: c.ID,
-		Start:    c.Start,
-		End:      c.End,
-		N:        int64(len(c.Tuples)),
+		WindowID:   c.ID,
+		Start:      c.Start,
+		End:        c.End,
+		N:          int64(len(c.Tuples)),
+		Epsilon:    m.cfg.Epsilon,
+		Confidence: m.cfg.Confidence,
+		Budget:     m.curBudget,
 	}
 	w := m.wins[c.ID]
 	if c.Uncollected && w != nil {
@@ -385,8 +541,8 @@ func (m *GroupedManager) produceFromWindow(c window.Complete, scanShare time.Dur
 		res.SampleN = int(res.N)
 		accelerated = true
 	}
-	if !accelerated && w != nil && w.gs.Len() > 0 && w.gs.Len() <= m.cfg.BudgetTuples {
-		alloc := sample.CongressAllocate(w.gs.Frequencies(), m.cfg.BudgetTuples)
+	if !accelerated && w != nil && w.gs.Len() > 0 && w.gs.Len() <= m.curBudget {
+		alloc := sample.CongressAllocate(w.gs.Frequencies(), m.curBudget)
 		state := GroupedState{
 			Groups: w.gs, Alloc: alloc, N: res.N,
 			Epsilon: m.cfg.Epsilon, Confidence: m.cfg.Confidence, Agg: m.cfg.Agg,
@@ -449,6 +605,9 @@ func (m *GroupedManager) finishMetrics(res *Result, t0 time.Time, scanShare time
 		m.cfg.Metrics.WindowsAccelerated.Inc()
 	} else {
 		m.cfg.Metrics.WindowsExact.Inc()
+	}
+	if res.Mode == ModeShed {
+		m.cfg.Metrics.WindowsShed.Inc()
 	}
 	if res.FetchedFromStore {
 		m.cfg.Metrics.WindowsSpilled.Inc()

@@ -23,6 +23,12 @@ const (
 	// ModeIncremental means a non-holistic operation was maintained
 	// exactly at tuple arrival and finalized in O(1).
 	ModeIncremental
+	// ModeShed means the accuracy check failed but load shedding had
+	// dropped the window's archive, so the result was produced from
+	// the sample anyway. EstError carries the realized bound — which
+	// may exceed ε: this is the one mode whose contract is "best
+	// effort under overload", and ContractMet reports false for it.
+	ModeShed
 )
 
 // String names the mode.
@@ -32,6 +38,8 @@ func (m Mode) String() string {
 		return "sampled"
 	case ModeIncremental:
 		return "incremental"
+	case ModeShed:
+		return "shed"
 	default:
 		return "exact"
 	}
@@ -49,8 +57,18 @@ type Result struct {
 
 	Mode Mode
 	// EstError is the estimated error ε̂_w the accuracy check
-	// compared against ε (0 for exact and incremental results).
+	// compared against ε (0 for exact and incremental results). For
+	// ModeShed it is the realized bound of the forced sample answer,
+	// possibly above Epsilon.
 	EstError float64
+	// Epsilon and Confidence echo the accuracy contract (ε, α) the
+	// window was held to, so every result carries its own error/
+	// confidence context even as budgets move at runtime.
+	Epsilon    float64
+	Confidence float64
+	// Budget is the tuple budget in force when the window was
+	// produced — the adaptive controller's trajectory, per window.
+	Budget int
 	// FetchedFromStore reports whether secondary storage was read.
 	FetchedFromStore bool
 
@@ -60,6 +78,12 @@ type Result struct {
 	// scalar ones.
 	Groups map[string]float64
 }
+
+// ContractMet reports whether the result honors the query's (ε, α)
+// accuracy contract: exact and incremental results trivially, sampled
+// results by the passed check; only ModeShed — a sample answer forced
+// by load shedding after its accuracy check failed — does not.
+func (r Result) ContractMet() bool { return r.Mode != ModeShed }
 
 // String renders the result for logs.
 func (r Result) String() string {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"spear/internal/agg"
@@ -39,6 +40,8 @@ type ScalarManager struct {
 	maxPos    int64
 	late      int64
 	curBudget int
+	shed      bool  // archive writes currently shed (controller escalation)
+	sheds     int64 // tuples whose archive write was shed
 	now       func() time.Time
 }
 
@@ -47,6 +50,10 @@ type scalarWin struct {
 	all   stats.Welford // moments and count of every tuple in the window
 	inc   *agg.Incremental
 	first int64 // position of the first tuple (diagnostics)
+	// tainted marks a window that lost at least one archive write to
+	// load shedding: its exact fallback is gone, so a failed accuracy
+	// check answers from the sample anyway (ModeShed).
+	tainted bool
 }
 
 // NewScalarManager returns a manager for cfg. cfg.KeyBy must be nil.
@@ -64,15 +71,72 @@ func NewScalarManager(cfg Config) (*ScalarManager, error) {
 	if p, ok := cfg.Budget.(*AIMDBudget); ok && p.Epsilon == 0 {
 		p.Epsilon = cfg.Epsilon
 	}
-	return &ScalarManager{
+	m := &ScalarManager{
 		cfg:       cfg,
 		est:       est,
 		arc:       newArchive(cfg.Store, cfg.Key, cfg.Spec, cfg.ArchiveChunk, cfg.DeferStoreDeletes),
 		wins:      make(map[window.ID]*scalarWin),
 		curBudget: cfg.BudgetTuples,
 		now:       cfg.clock(),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.BudgetTuples.Set(int64(m.curBudget))
+	}
+	return m, nil
 }
+
+// syncControl pulls the controller cell's published budget and shedding
+// state into the manager. Called at the top of every OnTuple/
+// OnTupleBatch/OnColumnBatch — two atomic loads plus comparisons in the
+// common no-change case; reservoir resizes happen only when the target
+// actually moved, never inside a per-tuple loop.
+func (m *ScalarManager) syncControl() {
+	c := m.cfg.Cell
+	if c == nil {
+		return
+	}
+	if b := c.Budget(); b != m.curBudget {
+		m.SetBudget(b)
+	}
+	// Shedding without a sample to answer from would produce nothing at
+	// all; the manager refuses until the budget is positive again.
+	m.shed = c.Shedding() && m.curBudget > 0
+}
+
+// SetBudget applies a new tuple budget immediately: live windows'
+// reservoirs are resized in place (a seeded uniform down-sample on
+// shrink, so every active sample stays a simple random sample of its
+// window so far), and windows created from here on start at the new
+// capacity. A non-positive budget disables sampling — live samples are
+// dropped and affected windows can only answer exactly.
+func (m *ScalarManager) SetBudget(b int) {
+	if b < 0 {
+		b = 0
+	}
+	if b == m.curBudget {
+		return
+	}
+	m.curBudget = b
+	for _, w := range m.wins {
+		switch {
+		case b == 0:
+			w.res = nil
+		case w.res != nil:
+			w.res.Resize(b)
+		}
+		// A window that already lost its sample to a budget-0 phase
+		// stays sample-less: admitting only the suffix of its stream
+		// would not be a uniform sample.
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.BudgetTuples.Set(int64(b))
+	}
+}
+
+// SetShedding toggles archive-write shedding directly (the controller
+// path goes through the cell; this is the test/embedding seam).
+// Ignored while the budget is zero — shedding requires a sample.
+func (m *ScalarManager) SetShedding(on bool) { m.shed = on && m.curBudget > 0 }
 
 func (m *ScalarManager) useIncremental() bool {
 	return m.cfg.Custom == nil && m.cfg.Agg.Incremental() && !m.cfg.DisableIncremental
@@ -97,6 +161,7 @@ func (m *ScalarManager) evalExact(values []float64) float64 {
 // OnTuple implements Manager (Alg. 1): update the budget's sample and
 // statistics, archive the tuple to S.
 func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
+	m.syncControl()
 	rs, ingested, err := m.ingest(t)
 	if err != nil {
 		return rs, err
@@ -112,6 +177,7 @@ func (m *ScalarManager) OnTuple(t tuple.Tuple) ([]Result, error) {
 // with the telemetry updates (counter increment, memory gauge refresh)
 // amortized once per batch instead of once per tuple.
 func (m *ScalarManager) OnTupleBatch(ts []tuple.Tuple) ([]Result, error) {
+	m.syncControl()
 	var out []Result
 	ingested := 0
 	for i := range ts {
@@ -178,9 +244,9 @@ func (m *ScalarManager) ingest(t tuple.Tuple) (rs []Result, ingested bool, err e
 			var ok bool
 			w, ok = m.wins[id]
 			if !ok {
-				w = &scalarWin{
-					res:   sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL),
-					first: pos,
+				w = &scalarWin{first: pos}
+				if m.curBudget > 0 {
+					w.res = sample.NewReservoir(m.curBudget, sample.DeriveSeed(m.cfg.Seed, int64(id)), sample.AlgoL)
 				}
 				if m.useIncremental() {
 					w.inc, _ = agg.NewIncremental(m.cfg.Agg)
@@ -189,13 +255,28 @@ func (m *ScalarManager) ingest(t tuple.Tuple) (rs []Result, ingested bool, err e
 			}
 			m.lastID, m.lastWin = id, w
 		}
-		w.res.Add(v)
+		if w.res != nil {
+			w.res.Add(v)
+		}
 		w.all.Add(v)
 		if w.inc != nil {
 			w.inc.Add(v)
 		}
+		if m.shed {
+			w.tainted = true
+		}
 	}
-	if err := m.arc.add(t); err != nil {
+	if m.shed {
+		// Load shedding: skip the archive write — the per-tuple cost
+		// that saturates under overload — and keep only the in-budget
+		// state. N and the moments stay exact; the sample stays a
+		// uniform s.r.s. of the whole window. What is lost is the
+		// exact fallback for the windows this tuple spans.
+		m.sheds++
+		if m.cfg.Metrics != nil {
+			m.cfg.Metrics.TuplesShed.Inc()
+		}
+	} else if err := m.arc.add(t); err != nil {
 		return nil, true, err
 	}
 
@@ -236,9 +317,15 @@ func (m *ScalarManager) fire(wm int64) ([]Result, error) {
 		}
 		if r != nil {
 			out = append(out, *r)
-			if m.cfg.Budget != nil {
+			// A per-window budget policy and the controller cell are
+			// mutually exclusive owners of the budget; with a cell
+			// attached the policy is ignored.
+			if m.cfg.Budget != nil && m.cfg.Cell == nil {
 				if next := m.cfg.Budget.Next(m.curBudget, *r); next >= 1 {
 					m.curBudget = next
+					if m.cfg.Metrics != nil {
+						m.cfg.Metrics.BudgetTuples.Set(int64(next))
+					}
 				}
 			}
 		}
@@ -266,10 +353,13 @@ func (m *ScalarManager) produce(id window.ID) (*Result, error) {
 	t0 := m.now()
 	startPos, endPos := m.cfg.Spec.Bounds(id)
 	res := Result{
-		WindowID: id,
-		Start:    startPos,
-		End:      endPos,
-		N:        w.all.Count(),
+		WindowID:   id,
+		Start:      startPos,
+		End:        endPos,
+		N:          w.all.Count(),
+		Epsilon:    m.cfg.Epsilon,
+		Confidence: m.cfg.Confidence,
+		Budget:     m.curBudget,
 	}
 
 	switch {
@@ -283,7 +373,10 @@ func (m *ScalarManager) produce(id window.ID) (*Result, error) {
 
 	default:
 		// Accuracy estimation from b's contents only.
-		smp := w.res.Items()
+		var smp []float64
+		if w.res != nil {
+			smp = w.res.Items()
+		}
 		var sw stats.Welford
 		for _, v := range smp {
 			sw.Add(v)
@@ -298,12 +391,30 @@ func (m *ScalarManager) produce(id window.ID) (*Result, error) {
 			Custom:     m.cfg.Custom,
 		}
 		estErr, ok := m.est(state)
-		if ok && estErr <= m.cfg.Epsilon {
+		switch {
+		case ok && estErr <= m.cfg.Epsilon:
 			res.Mode = ModeSampled
 			res.EstError = estErr
 			res.SampleN = len(smp)
 			res.Scalar = m.evalSample(smp, state.N)
-		} else {
+		case w.tainted:
+			// The accuracy check failed but shedding dropped (part of)
+			// this window's archive, so the exact fallback is gone.
+			// Answer from the sample anyway and surface the realized
+			// bound — possibly above ε — in the contract fields; the
+			// Mode records that the ε guarantee was traded for
+			// latency.
+			if m.cfg.Metrics != nil {
+				m.cfg.Metrics.EstimationFailures.Inc()
+			}
+			res.Mode = ModeShed
+			res.EstError = estErr
+			if !ok {
+				res.EstError = math.Inf(1)
+			}
+			res.SampleN = len(smp)
+			res.Scalar = m.evalSample(smp, state.N)
+		default:
 			// ε̂_w > ε: process the whole window from S (Alg. 2
 			// line 5) — performance identical to normal execution
 			// plus the failed check.
@@ -336,6 +447,9 @@ func (m *ScalarManager) produce(id window.ID) (*Result, error) {
 			m.cfg.Metrics.WindowsAccelerated.Inc()
 		} else {
 			m.cfg.Metrics.WindowsExact.Inc()
+		}
+		if res.Mode == ModeShed {
+			m.cfg.Metrics.WindowsShed.Inc()
 		}
 		if res.FetchedFromStore {
 			m.cfg.Metrics.WindowsSpilled.Inc()
@@ -379,7 +493,10 @@ func (m *ScalarManager) MemUsage() int {
 func (m *ScalarManager) BudgetMemUsage() int {
 	n := 0
 	for _, w := range m.wins {
-		n += w.res.MemSize() + w.all.MemSize()
+		if w.res != nil {
+			n += w.res.MemSize()
+		}
+		n += w.all.MemSize()
 	}
 	return n
 }

@@ -23,12 +23,20 @@ import (
 // deferred while checkpointing is on (Config.DeferStoreDeletes) so a
 // rewind never needs a segment that is already gone.
 
-// Versioned type tags.
+// Versioned type tags. The v2 scalar/grouped formats (lowercase tags)
+// carry the adaptive-controller state: the live budget — zero is legal,
+// meaning "reservoirs dropped, exact-only" — the shedding flag and shed
+// counter, and per-window taint/reservoir-presence bits. Writers emit
+// v2; readers accept both, keeping v1 blobs (whose invariants were
+// stricter: budget always positive, reservoirs always present)
+// restorable across the upgrade.
 const (
-	snapScalar      byte = 0x53 // 'S'
-	snapGrouped     byte = 0x47 // 'G'
+	snapScalar      byte = 0x53 // 'S' (v1, read-only)
+	snapGrouped     byte = 0x47 // 'G' (v1, read-only)
 	snapExact       byte = 0x45 // 'E'
 	snapIncremental byte = 0x49 // 'I'
+	snapScalarV2    byte = 0x73 // 's'
+	snapGroupedV2   byte = 0x67 // 'g'
 )
 
 func badTag(kind string, tag byte, rd *tuple.WireReader) error {
@@ -42,7 +50,7 @@ func badTag(kind string, tag byte, rd *tuple.WireReader) error {
 
 // SnapshotState implements the checkpoint Snapshotter contract.
 func (m *ScalarManager) SnapshotState() ([]byte, error) {
-	dst := []byte{snapScalar}
+	dst := []byte{snapScalarV2}
 	dst = tuple.AppendBool(dst, m.started)
 	dst = tuple.AppendBool(dst, m.fired)
 	dst = tuple.AppendI64(dst, int64(m.nextFire))
@@ -50,6 +58,8 @@ func (m *ScalarManager) SnapshotState() ([]byte, error) {
 	dst = tuple.AppendI64(dst, m.maxPos)
 	dst = tuple.AppendI64(dst, m.late)
 	dst = tuple.AppendUvar(dst, uint64(m.curBudget))
+	dst = tuple.AppendBool(dst, m.shed)
+	dst = tuple.AppendI64(dst, m.sheds)
 	var err error
 	if dst, err = m.arc.appendState(dst); err != nil {
 		return nil, err
@@ -64,8 +74,12 @@ func (m *ScalarManager) SnapshotState() ([]byte, error) {
 		w := m.wins[id]
 		dst = tuple.AppendI64(dst, int64(id))
 		dst = tuple.AppendI64(dst, w.first)
-		dst = w.res.AppendTo(dst)
+		dst = tuple.AppendBool(dst, w.res != nil)
+		if w.res != nil {
+			dst = w.res.AppendTo(dst)
+		}
 		dst = w.all.AppendTo(dst)
+		dst = tuple.AppendBool(dst, w.tainted)
 		dst = tuple.AppendBool(dst, w.inc != nil)
 		if w.inc != nil {
 			dst = w.inc.AppendTo(dst)
@@ -77,7 +91,9 @@ func (m *ScalarManager) SnapshotState() ([]byte, error) {
 // RestoreState implements the checkpoint Snapshotter contract.
 func (m *ScalarManager) RestoreState(b []byte) error {
 	rd := tuple.NewWireReader(b)
-	if tag := rd.Byte(); tag != snapScalar {
+	tag := rd.Byte()
+	v2 := tag == snapScalarV2
+	if !v2 && tag != snapScalar {
 		return badTag("scalar", tag, rd)
 	}
 	started := rd.Bool()
@@ -87,6 +103,12 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 	maxPos := rd.I64()
 	late := rd.I64()
 	curBudget := rd.Uvar()
+	shed := false
+	var sheds int64
+	if v2 {
+		shed = rd.Bool()
+		sheds = rd.I64()
+	}
 	arc := newArchive(m.cfg.Store, m.cfg.Key, m.cfg.Spec, m.cfg.ArchiveChunk, m.cfg.DeferStoreDeletes)
 	arc.readState(rd)
 	n := rd.Count(2)
@@ -97,8 +119,20 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 	for i := 0; i < n; i++ {
 		id := window.ID(rd.I64())
 		w := &scalarWin{first: rd.I64()}
-		w.res = sample.ReadReservoir(rd)
+		hasRes := true
+		if v2 {
+			// A budget collapsed to zero drops per-window reservoirs;
+			// v2 records their presence per window. v1 blobs always
+			// carry one.
+			hasRes = rd.Bool()
+		}
+		if hasRes {
+			w.res = sample.ReadReservoir(rd)
+		}
 		w.all.ReadFrom(rd)
+		if v2 {
+			w.tainted = rd.Bool()
+		}
 		hasInc := rd.Bool()
 		if rd.Err() != nil {
 			return rd.Err()
@@ -122,18 +156,38 @@ func (m *ScalarManager) RestoreState(b []byte) error {
 	if err := rd.Done(); err != nil {
 		return err
 	}
-	if seq < 0 || late < 0 || curBudget == 0 {
+	// v1 invariant: the budget was fixed at query submission, where
+	// validation rejects non-positive values, so a zero can only be
+	// corruption. Under v2 the adaptive controller may legitimately
+	// drive the budget to zero (exact-only operation), so the check is
+	// versioned — restoring at the budget floor must succeed.
+	if seq < 0 || late < 0 || sheds < 0 || (!v2 && curBudget == 0) {
 		return fmt.Errorf("%w: scalar snapshot counters", tuple.ErrCorrupt)
 	}
 	m.started, m.fired, m.nextFire, m.seq, m.maxPos, m.late = started, fired, nextFire, seq, maxPos, late
 	m.curBudget = int(curBudget)
+	m.shed = shed && m.curBudget > 0
+	m.sheds = sheds
 	m.arc = arc
 	m.wins = wins
 	// The memoized window belongs to the replaced map; both halves of
 	// the memo reset together so the invariant (lastWin nil ⇒ lastID
 	// meaningless) never depends on the nil check alone.
 	m.lastID, m.lastWin = 0, nil
+	m.pushRestoredControl()
 	return nil
+}
+
+// pushRestoredControl re-publishes the restored budget and shedding
+// state to the controller cell (the cells are the controller's source
+// of truth, so recovery must rewrite them) and to the budget gauge.
+func (m *ScalarManager) pushRestoredControl() {
+	if c := m.cfg.Cell; c != nil {
+		c.Set(m.curBudget, m.shed)
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.BudgetTuples.Set(int64(m.curBudget))
+	}
 }
 
 // RewindStore reconciles archive panes with the restored state.
@@ -146,7 +200,7 @@ func (m *ScalarManager) TakeDeferredDeletes() []string { return m.arc.takeDeferr
 
 // SnapshotState implements the checkpoint Snapshotter contract.
 func (m *GroupedManager) SnapshotState() ([]byte, error) {
-	dst := []byte{snapGrouped}
+	dst := []byte{snapGroupedV2}
 	known := m.arc != nil
 	dst = tuple.AppendBool(dst, known)
 	dst = tuple.AppendBool(dst, m.started)
@@ -155,6 +209,9 @@ func (m *GroupedManager) SnapshotState() ([]byte, error) {
 	dst = tuple.AppendI64(dst, m.maxPos)
 	dst = tuple.AppendI64(dst, m.late)
 	dst = tuple.AppendI64(dst, m.seq)
+	dst = tuple.AppendUvar(dst, uint64(m.curBudget))
+	dst = tuple.AppendBool(dst, m.shed)
+	dst = tuple.AppendI64(dst, m.sheds)
 	var err error
 	if known {
 		if dst, err = m.arc.appendState(dst); err != nil {
@@ -181,6 +238,7 @@ func (m *GroupedManager) SnapshotState() ([]byte, error) {
 		if w.known != nil {
 			dst = w.known.AppendTo(dst)
 		}
+		dst = tuple.AppendBool(dst, w.tainted)
 	}
 	return dst, nil
 }
@@ -188,7 +246,9 @@ func (m *GroupedManager) SnapshotState() ([]byte, error) {
 // RestoreState implements the checkpoint Snapshotter contract.
 func (m *GroupedManager) RestoreState(b []byte) error {
 	rd := tuple.NewWireReader(b)
-	if tag := rd.Byte(); tag != snapGrouped {
+	tag := rd.Byte()
+	v2 := tag == snapGroupedV2
+	if !v2 && tag != snapGrouped {
 		return badTag("grouped", tag, rd)
 	}
 	known := rd.Bool()
@@ -201,6 +261,14 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 	maxPos := rd.I64()
 	late := rd.I64()
 	seq := rd.I64()
+	curBudget := uint64(m.cfg.BudgetTuples) // v1: the budget never moved
+	shed := false
+	var sheds int64
+	if v2 {
+		curBudget = rd.Uvar()
+		shed = rd.Bool()
+		sheds = rd.I64()
+	}
 	var arc *archive
 	var bufBlob []byte
 	if known {
@@ -221,7 +289,15 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 		if rd.Err() != nil {
 			return rd.Err()
 		}
-		if hasKnown != known {
+		// v1 invariant: known-path windows always carry reservoirs. v2
+		// decouples the two — a window opened while the adaptive budget
+		// was below KnownGroups has none (metadata-only, exact-only) —
+		// but reservoirs on the buffered path remain impossible.
+		if v2 {
+			if hasKnown && !known {
+				return fmt.Errorf("%w: grouped window %d reservoir flag mismatch", tuple.ErrCorrupt, id)
+			}
+		} else if hasKnown != known {
 			return fmt.Errorf("%w: grouped window %d reservoir flag mismatch", tuple.ErrCorrupt, id)
 		}
 		if hasKnown {
@@ -229,6 +305,9 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 			if rd.Err() != nil {
 				return rd.Err()
 			}
+		}
+		if v2 {
+			w.tainted = rd.Bool()
 		}
 		if _, dup := wins[id]; dup {
 			return fmt.Errorf("%w: duplicate grouped window %d", tuple.ErrCorrupt, id)
@@ -238,7 +317,7 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 	if err := rd.Done(); err != nil {
 		return err
 	}
-	if seq < 0 || late < 0 {
+	if seq < 0 || late < 0 || sheds < 0 {
 		return fmt.Errorf("%w: grouped snapshot counters", tuple.ErrCorrupt)
 	}
 	if !known {
@@ -249,7 +328,17 @@ func (m *GroupedManager) RestoreState(b []byte) error {
 		m.arc = arc
 	}
 	m.started, m.fired, m.nextFire, m.maxPos, m.late, m.seq = started, fired, nextFire, maxPos, late, seq
+	m.curBudget = int(curBudget)
+	m.sheds = sheds
 	m.wins = wins
+	m.shed = false
+	m.SetShedding(shed)
+	if c := m.cfg.Cell; c != nil {
+		c.Set(m.curBudget, m.shed)
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.BudgetTuples.Set(int64(m.curBudget))
+	}
 	return nil
 }
 

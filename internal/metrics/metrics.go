@@ -230,14 +230,20 @@ type Worker struct {
 	// results (Fig. 7); Peak gives the high-water mark.
 	MemBytes Gauge
 
+	// BudgetTuples is the sample budget currently in force — the
+	// adaptive controller's trajectory, one point per worker.
+	BudgetTuples Gauge
+
 	TuplesIn            Counter // tuples received
 	WindowsTotal        Counter // windows fired
 	WindowsAccelerated  Counter // windows answered from the sample
 	WindowsExact        Counter // windows processed in full
 	WindowsSpilled      Counter // windows that touched secondary storage
+	WindowsShed         Counter // windows answered sample-only because shedding dropped their archive
 	LateDropped         Counter // tuples behind the last fired window
 	EstimationFailures  Counter // accuracy checks that rejected acceleration
 	TuplesProcessedFull Counter // tuples scanned by exact processing
+	TuplesShed          Counter // tuples whose archive write was shed under overload
 }
 
 // AcceleratedFraction returns the fraction of windows answered from the

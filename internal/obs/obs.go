@@ -87,11 +87,12 @@ type Instruments struct {
 	sink       *Edge
 	transports []*TransportObs
 
-	reg   *metrics.Registry
-	store spillStore
-	plane spillPlane
-	ckpt  *metrics.CheckpointMetrics
-	trace *TraceRing
+	reg     *metrics.Registry
+	store   spillStore
+	plane   spillPlane
+	ckpt    *metrics.CheckpointMetrics
+	trace   *TraceRing
+	control ControlSource
 
 	// Source progress, published by the spout every sourcePublishMask+1
 	// tuples (and at stream end) to keep the hot loop at one branch per
@@ -111,6 +112,21 @@ const SourcePublishMask = 63
 
 // NewInstruments returns an empty instrument registry.
 func NewInstruments() *Instruments { return &Instruments{} }
+
+// ControlSource is implemented by the adaptive accuracy controller
+// (internal/control); obs declares the interface so the dependency
+// points control→obs, never back.
+type ControlSource interface {
+	ControlSnapshot() *ControlSnapshot
+}
+
+// SetController attaches the adaptive accuracy controller so snapshots
+// include its budget trajectory and decision counters.
+func (in *Instruments) SetController(c ControlSource) {
+	in.mu.Lock()
+	in.control = c
+	in.mu.Unlock()
+}
 
 // SetRegistry attaches the per-worker metrics registry so snapshots can
 // include the paper's worker telemetry (windows, acceleration, memory).

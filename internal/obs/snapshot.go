@@ -59,14 +59,37 @@ type WorkerMetricsSnapshot struct {
 	WindowsAccelerated  int64   `json:"windows_accelerated"`
 	WindowsExact        int64   `json:"windows_exact"`
 	WindowsSpilled      int64   `json:"windows_spilled"`
+	WindowsShed         int64   `json:"windows_shed"`
 	LateDropped         int64   `json:"late_dropped"`
 	EstimationFailures  int64   `json:"estimation_failures"`
 	TuplesProcessedFull int64   `json:"tuples_processed_full"`
+	TuplesShed          int64   `json:"tuples_shed"`
+	BudgetTuples        int64   `json:"budget_tuples"`
 	MemBytes            int64   `json:"mem_bytes"`
 	MemBytesPeak        int64   `json:"mem_bytes_peak"`
 	ProcTimeCount       int64   `json:"proc_time_count"`
 	ProcTimeMeanNanos   float64 `json:"proc_time_mean_nanos"`
 	ProcTimeP95Nanos    float64 `json:"proc_time_p95_nanos"`
+}
+
+// ControlSnapshot is the adaptive accuracy controller's state at
+// snapshot time: the SLO, the published budget target, the signals it
+// last acted on, and cumulative decision counts.
+type ControlSnapshot struct {
+	SLONanos     int64   `json:"slo_nanos"`
+	TargetBudget int     `json:"target_budget"`
+	MinBudget    int     `json:"min_budget"`
+	MaxBudget    int     `json:"max_budget"`
+	Shedding     bool    `json:"shedding"`
+	LagNanos     int64   `json:"lag_nanos"`
+	QueueFill    float64 `json:"queue_fill"`
+	SourceRate   float64 `json:"source_rate"`
+	ShedRate     float64 `json:"shed_rate"`
+	Tighten      int64   `json:"tighten"`
+	Expand       int64   `json:"expand"`
+	ShedOn       int64   `json:"shed_on"`
+	ShedOff      int64   `json:"shed_off"`
+	Hold         int64   `json:"hold"`
 }
 
 // CheckpointSnapshot is the fault-tolerance telemetry at snapshot time.
@@ -113,6 +136,10 @@ type Snapshot struct {
 	// single-process runs.
 	Transport []TransportSnapshot `json:"transport,omitempty"`
 
+	// Control is the adaptive accuracy controller's state; nil when no
+	// controller is attached (no LatencySLO configured).
+	Control *ControlSnapshot `json:"control,omitempty"`
+
 	TraceRecorded uint64 `json:"trace_recorded,omitempty"`
 }
 
@@ -129,7 +156,7 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 	transports := make([]*TransportObs, len(in.transports))
 	copy(transports, in.transports)
 	reg, store, ckpt, trace := in.reg, in.store, in.ckpt, in.trace
-	plane := in.plane
+	plane, control := in.plane, in.control
 	in.mu.Unlock()
 
 	s := &Snapshot{
@@ -186,9 +213,12 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 				WindowsAccelerated:  w.WindowsAccelerated.Load(),
 				WindowsExact:        w.WindowsExact.Load(),
 				WindowsSpilled:      w.WindowsSpilled.Load(),
+				WindowsShed:         w.WindowsShed.Load(),
 				LateDropped:         w.LateDropped.Load(),
 				EstimationFailures:  w.EstimationFailures.Load(),
 				TuplesProcessedFull: w.TuplesProcessedFull.Load(),
+				TuplesShed:          w.TuplesShed.Load(),
+				BudgetTuples:        w.BudgetTuples.Load(),
 				MemBytes:            w.MemBytes.Load(),
 				MemBytesPeak:        w.MemBytes.Peak(),
 				ProcTimeCount:       int64(w.ProcTime.Count()),
@@ -218,6 +248,9 @@ func (in *Instruments) Snapshot(now time.Time) *Snapshot {
 	}
 	for _, t := range transports {
 		s.Transport = append(s.Transport, transportSnapshot(t))
+	}
+	if control != nil {
+		s.Control = control.ControlSnapshot()
 	}
 	if trace != nil {
 		s.TraceRecorded = trace.Recorded()
@@ -300,8 +333,11 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 	family("spear_worker_windows_accelerated_total", "Windows answered from the sample per stateful worker.", "counter")
 	family("spear_worker_windows_exact_total", "Windows processed in full per stateful worker.", "counter")
 	family("spear_worker_windows_spilled_total", "Windows that touched secondary storage per stateful worker.", "counter")
+	family("spear_worker_windows_shed_total", "Windows answered sample-only because load shedding dropped their archive.", "counter")
 	family("spear_worker_late_dropped_total", "Late tuples dropped per stateful worker.", "counter")
 	family("spear_worker_estimation_failures_total", "Accuracy checks that rejected acceleration per stateful worker.", "counter")
+	family("spear_worker_shed_tuples_total", "Tuples whose archive write was shed under overload per stateful worker.", "counter")
+	family("spear_worker_budget_tuples", "Sample budget currently in force per stateful worker.", "gauge")
 	family("spear_worker_mem_bytes", "Buffered bytes used for result production per stateful worker.", "gauge")
 	family("spear_worker_mem_bytes_peak", "High-water mark of buffered bytes per stateful worker.", "gauge")
 	family("spear_worker_proc_time_seconds", "Per-window processing time per stateful worker (stat: mean, p95).", "gauge")
@@ -312,8 +348,11 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		p("spear_worker_windows_accelerated_total{worker=\"%s\"} %d\n", n, m.WindowsAccelerated)
 		p("spear_worker_windows_exact_total{worker=\"%s\"} %d\n", n, m.WindowsExact)
 		p("spear_worker_windows_spilled_total{worker=\"%s\"} %d\n", n, m.WindowsSpilled)
+		p("spear_worker_windows_shed_total{worker=\"%s\"} %d\n", n, m.WindowsShed)
 		p("spear_worker_late_dropped_total{worker=\"%s\"} %d\n", n, m.LateDropped)
 		p("spear_worker_estimation_failures_total{worker=\"%s\"} %d\n", n, m.EstimationFailures)
+		p("spear_worker_shed_tuples_total{worker=\"%s\"} %d\n", n, m.TuplesShed)
+		p("spear_worker_budget_tuples{worker=\"%s\"} %d\n", n, m.BudgetTuples)
 		p("spear_worker_mem_bytes{worker=\"%s\"} %d\n", n, m.MemBytes)
 		p("spear_worker_mem_bytes_peak{worker=\"%s\"} %d\n", n, m.MemBytesPeak)
 		p("spear_worker_proc_time_seconds{worker=\"%s\",stat=\"mean\"} %g\n", n, m.ProcTimeMeanNanos/1e9)
@@ -393,6 +432,36 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		p("spear_transport_bytes_total{peer=\"%s\",dir=\"rx\"} %d\n", n, t.RxBytes)
 		p("spear_transport_reconnects_total{peer=\"%s\"} %d\n", n, t.Reconnects)
 		p("spear_transport_credit_stalls_total{peer=\"%s\"} %d\n", n, t.CreditStalls)
+	}
+
+	family("spear_control_slo_seconds", "Latency SLO the adaptive accuracy controller holds.", "gauge")
+	family("spear_control_target_budget_tuples", "Sample budget target the controller last published.", "gauge")
+	family("spear_control_budget_bounds_tuples", "Budget floor and ceiling the controller moves within.", "gauge")
+	family("spear_control_shedding", "1 while the controller is shedding archive writes, else 0.", "gauge")
+	family("spear_control_observed_lag_seconds", "Worst worker watermark lag the controller last observed.", "gauge")
+	family("spear_control_observed_queue_fill", "Worst edge fill fraction the controller last observed.", "gauge")
+	family("spear_control_source_rate_tuples", "Source input rate the controller last observed (tuples/s); with label engaged=\"shed\", the rate at which shedding last engaged.", "gauge")
+	family("spear_control_decisions_total", "Controller decisions by action.", "counter")
+	if s.Control != nil {
+		c := s.Control
+		p("spear_control_slo_seconds %g\n", float64(c.SLONanos)/1e9)
+		p("spear_control_target_budget_tuples %d\n", c.TargetBudget)
+		p("spear_control_budget_bounds_tuples{bound=\"min\"} %d\n", c.MinBudget)
+		p("spear_control_budget_bounds_tuples{bound=\"max\"} %d\n", c.MaxBudget)
+		shed := 0
+		if c.Shedding {
+			shed = 1
+		}
+		p("spear_control_shedding %d\n", shed)
+		p("spear_control_observed_lag_seconds %g\n", float64(c.LagNanos)/1e9)
+		p("spear_control_observed_queue_fill %g\n", c.QueueFill)
+		p("spear_control_source_rate_tuples{engaged=\"now\"} %g\n", c.SourceRate)
+		p("spear_control_source_rate_tuples{engaged=\"shed\"} %g\n", c.ShedRate)
+		p("spear_control_decisions_total{action=\"tighten\"} %d\n", c.Tighten)
+		p("spear_control_decisions_total{action=\"expand\"} %d\n", c.Expand)
+		p("spear_control_decisions_total{action=\"shed_on\"} %d\n", c.ShedOn)
+		p("spear_control_decisions_total{action=\"shed_off\"} %d\n", c.ShedOff)
+		p("spear_control_decisions_total{action=\"hold\"} %d\n", c.Hold)
 	}
 
 	family("spear_trace_events_total", "Lifecycle trace events recorded into the ring.", "counter")

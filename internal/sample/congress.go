@@ -17,17 +17,25 @@ import (
 //
 // Groups with fewer tuples than their allocation are capped at their
 // frequency. The returned sizes sum to at most budget. An empty
-// frequency map or non-positive budget yields nil.
+// frequency map or non-positive budget yields nil, as does a budget
+// smaller than the number of nonzero-frequency groups: the senate floor
+// (≥1 slot per represented group) cannot be honored within the budget,
+// so the allocation is infeasible and the caller must fall back to
+// exact processing rather than silently oversample.
 func CongressAllocate(freqs map[string]int64, budget int) map[string]int {
 	if budget <= 0 || len(freqs) == 0 {
 		return nil
 	}
 	g := len(freqs)
 	var total int64
+	pos := 0
 	for _, f := range freqs {
 		total += f
+		if f > 0 {
+			pos++
+		}
 	}
-	if total == 0 {
+	if total == 0 || pos > budget {
 		return nil
 	}
 
@@ -98,7 +106,11 @@ func CongressAllocate(freqs map[string]int64, budget int) map[string]int {
 				}
 			}
 			if !shaved {
-				break // all groups at the floor; budget < #groups
+				// All groups at the floor. Unreachable now that a
+				// budget below the nonzero-group count returns nil
+				// up front (sum == #groups ≤ budget); kept as a
+				// safety valve against infinite looping.
+				break
 			}
 		}
 	}

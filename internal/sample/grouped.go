@@ -121,6 +121,27 @@ func (g *GroupReservoirs) Add(key string, value float64) {
 	r.Add(value)
 }
 
+// PerGroup returns the current per-group capacity.
+func (g *GroupReservoirs) PerGroup() int { return g.perGroup }
+
+// Resize changes the per-group capacity: existing reservoirs are
+// resized in place (Reservoir.Resize — a seeded uniform down-sample on
+// shrink), new groups are created at the new capacity. Because every
+// group shrinks or grows by the same factor, per-group error degrades
+// (or recovers) evenly across strata instead of starving rare groups.
+func (g *GroupReservoirs) Resize(perGroup int) {
+	if perGroup <= 0 {
+		panic("sample: per-group capacity must be positive")
+	}
+	if perGroup == g.perGroup {
+		return
+	}
+	g.perGroup = perGroup
+	for _, r := range g.groups {
+		r.Resize(perGroup)
+	}
+}
+
 // Len returns the number of distinct groups observed.
 func (g *GroupReservoirs) Len() int { return len(g.groups) }
 

@@ -63,7 +63,11 @@ func NewReservoir(capacity int, seed int64, algo ReservoirAlgo) *Reservoir {
 // Add offers one observation to the reservoir.
 func (r *Reservoir) Add(x float64) {
 	r.seen++
-	if len(r.items) < r.cap {
+	if len(r.items) < r.cap && r.seen-1 == int64(len(r.items)) {
+		// True fill phase: the sample still holds every observation
+		// seen, so appending keeps it trivially uniform. After a
+		// capacity grow mid-stream (seen > len) this branch stays off
+		// and admission goes through the probabilistic paths below.
 		r.items = append(r.items, x)
 		if len(r.items) == r.cap && r.algo == AlgoL {
 			r.advanceL()
@@ -74,13 +78,24 @@ func (r *Reservoir) Add(x float64) {
 	case AlgoR:
 		// Admit with probability cap/seen.
 		if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
-			r.items[j] = x
+			r.admit(int(j), x)
 		}
 	case AlgoL:
 		if r.seen == r.next { // this item is the chosen one
-			r.items[r.rng.Intn(r.cap)] = x
+			r.admit(r.rng.Intn(r.cap), x)
 			r.advanceL()
 		}
+	}
+}
+
+// admit places x at sample slot j. A slot beyond the current length is
+// possible only after a capacity grow (len < cap with seen > len); the
+// sample grows toward the new capacity by appending there.
+func (r *Reservoir) admit(j int, x float64) {
+	if j < len(r.items) {
+		r.items[j] = x
+	} else {
+		r.items = append(r.items, x)
 	}
 }
 
@@ -103,7 +118,7 @@ func (r *Reservoir) AddSlice(xs []float64) {
 		}
 		return
 	}
-	for i < len(xs) {
+	for i < len(xs) && len(r.items) == r.cap {
 		d := r.next - r.seen // items until the next admission, ≥ 1
 		if remaining := int64(len(xs) - i); d > remaining {
 			r.seen += remaining
@@ -111,8 +126,14 @@ func (r *Reservoir) AddSlice(xs []float64) {
 		}
 		r.seen += d
 		i += int(d)
-		r.items[r.rng.Intn(r.cap)] = xs[i-1]
+		r.admit(r.rng.Intn(r.cap), xs[i-1])
 		r.advanceL()
+	}
+	// Refilling after a capacity grow (len < cap but past the fill
+	// phase): fall back to the per-item path until the sample catches
+	// up with the capacity again.
+	for ; i < len(xs); i++ {
+		r.Add(xs[i])
 	}
 }
 
@@ -120,11 +141,69 @@ func (r *Reservoir) AddSlice(xs []float64) {
 func (r *Reservoir) advanceL() {
 	// w ← w · U^(1/k);  skip ← floor(log(U') / log(1−w)).
 	r.w *= math.Exp(math.Log(r.rng.Float64()) / float64(r.cap))
+	r.scheduleL()
+}
+
+// scheduleL draws the gap to the next Algorithm L admission from the
+// current w.
+func (r *Reservoir) scheduleL() {
 	skip := math.Floor(math.Log(r.rng.Float64())/math.Log(1-r.w)) + 1
 	if skip < 1 || math.IsInf(skip, 0) || math.IsNaN(skip) {
 		skip = 1
 	}
 	r.next = r.seen + int64(skip)
+}
+
+// Resize changes the reservoir's capacity in place; newCap must be
+// positive. Shrinking keeps a uniform random subset of the current
+// sample — a seeded partial Fisher–Yates draw from the reservoir's own
+// PRNG stream — so the post-shrink sample is still a simple random
+// sample of everything seen (a u.r.s. of a u.r.s.), deterministically.
+// Growing raises the capacity: the retained sample remains a valid
+// s.r.s. of the prefix and future admissions append toward the new
+// capacity at rate ≈ newCap/seen, converging to the larger target as
+// the stream continues (OASRS-style adaptation). Algorithm L's skip
+// state is re-derived from the admission rate the new capacity implies.
+func (r *Reservoir) Resize(newCap int) {
+	if newCap <= 0 {
+		panic("sample: reservoir capacity must be positive")
+	}
+	if newCap == r.cap {
+		return
+	}
+	if len(r.items) > newCap {
+		// Partial Fisher–Yates: select newCap of len(items) uniformly.
+		for i := 0; i < newCap; i++ {
+			j := i + r.rng.Intn(len(r.items)-i)
+			r.items[i], r.items[j] = r.items[j], r.items[i]
+		}
+		r.items = r.items[:newCap]
+	}
+	r.cap = newCap
+	if r.algo == AlgoL {
+		r.reseedL()
+	}
+}
+
+// reseedL re-derives Algorithm L's skip state after a capacity change.
+// With the sample equal to the full prefix the pristine fill state is
+// restored; otherwise w is set to its asymptotic expectation cap/seen —
+// matching Algorithm R's admission probability — and the next admission
+// is scheduled from the PRNG stream.
+func (r *Reservoir) reseedL() {
+	if r.seen == int64(len(r.items)) {
+		r.w = 1
+		r.next = 0
+		return
+	}
+	w := float64(r.cap) / float64(r.seen)
+	if w >= 1 {
+		// Capacity grown past seen after an earlier shrink: admit
+		// (nearly) every arrival until the sample catches up.
+		w = 1 - 1e-9
+	}
+	r.w = w
+	r.scheduleL()
 }
 
 // Seen returns the number of observations offered so far — the window

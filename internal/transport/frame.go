@@ -26,8 +26,9 @@ import (
 )
 
 // ProtocolVersion is checked during the handshake; peers with a
-// different version refuse the connection.
-const ProtocolVersion = 1
+// different version refuse the connection. Version 2 added the result
+// frames' accuracy-contract fields (epsilon, confidence, budget).
+const ProtocolVersion = 2
 
 // MaxFrame bounds one frame's body. Oversized (or zero) length
 // prefixes are rejected before any allocation, closing the
@@ -330,6 +331,9 @@ func AppendResult(dst []byte, seq uint64, worker int, r core.Result) []byte {
 	dst = tuple.AppendUvar(dst, uint64(r.SampleN))
 	dst = append(dst, byte(r.Mode))
 	dst = tuple.AppendF64(dst, r.EstError)
+	dst = tuple.AppendF64(dst, r.Epsilon)
+	dst = tuple.AppendF64(dst, r.Confidence)
+	dst = tuple.AppendUvar(dst, uint64(r.Budget))
 	dst = tuple.AppendBool(dst, r.FetchedFromStore)
 	dst = tuple.AppendF64(dst, r.Scalar)
 	if r.Groups == nil {
@@ -430,6 +434,9 @@ func DecodeFrame(body []byte) (Frame, error) {
 		f.Result.SampleN = uvarInt(r)
 		f.Result.Mode = core.Mode(r.Byte())
 		f.Result.EstError = r.F64()
+		f.Result.Epsilon = r.F64()
+		f.Result.Confidence = r.F64()
+		f.Result.Budget = uvarInt(r)
 		f.Result.FetchedFromStore = r.Bool()
 		f.Result.Scalar = r.F64()
 		if r.Bool() {

@@ -29,6 +29,7 @@ import (
 
 	"spear/internal/agg"
 	"spear/internal/checkpoint"
+	"spear/internal/control"
 	"spear/internal/core"
 	"spear/internal/dataset"
 	"spear/internal/metrics"
@@ -192,6 +193,8 @@ type Query struct {
 	spillQueueBytes    int64
 	spillCacheBytes    int64
 	budgetPolicy       core.BudgetPolicy
+	latencySLO         time.Duration
+	controlCells       []*control.Cell
 	disableIncremental bool
 	scalarEst          core.ScalarEstimator
 	groupedEst         core.GroupedEstimator
@@ -414,6 +417,31 @@ func (q *Query) AdaptiveBudget(min, max int) *Query {
 		return q.errf("adaptive budget bounds [%d, %d] invalid", min, max)
 	}
 	q.budgetPolicy = &core.AIMDBudget{Min: min, Max: max}
+	return q
+}
+
+// LatencySLO enables the adaptive accuracy controller: a feedback loop
+// from the live observability plane to every worker's sample budget.
+// While the worst worker's watermark lag exceeds d (or an internal
+// queue nears saturation) the controller tightens budgets toward a
+// floor — shrinking reservoirs online, which loosens ε̂_w and steers
+// more windows onto the O(b) sampled path — and past the floor it sheds
+// archive writes, trading the exact fallback for sample-only answers
+// whose realized bound is reported per window (Result.ContractMet
+// reports false for those). With headroom it recovers in reverse
+// order. AdaptiveBudget(min, max) supplies the budget bounds; without
+// it they default to [BudgetTuples/16, BudgetTuples].
+//
+// Every Result carries the contract it was held to (Epsilon,
+// Confidence) and the budget in force (Budget), so downstream consumers
+// always see the error/confidence context of each window even as the
+// controller moves the budget. The controller requires the in-process
+// runtime; it does not compose with Distribute.
+func (q *Query) LatencySLO(d time.Duration) *Query {
+	if d <= 0 {
+		return q.errf("latency SLO %v must be positive", d)
+	}
+	q.latencySLO = d
 	return q
 }
 
@@ -756,6 +784,10 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	if sink == nil {
 		return Summary{}, fmt.Errorf("spear: %s: nil sink", q.name)
 	}
+	controllerOn := q.latencySLO > 0
+	if controllerOn && len(q.workers) > 0 {
+		return Summary{}, fmt.Errorf("spear: %s: LatencySLO does not compose with Distribute (the controller needs the in-process obs plane)", q.name)
+	}
 	store, plane, reg, err := q.assembleRuntime()
 	if err != nil {
 		return Summary{}, err
@@ -764,8 +796,10 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	ckptEnabled := q.ckptTuples > 0 || q.ckptInterval > 0 || q.ckptRecover
 
 	// Live observability: build (or adopt) the instrument registry and
-	// attach every telemetry source the run will have.
-	observing := q.obsAddr != "" || q.obsInto != nil || q.traceEvery > 0
+	// attach every telemetry source the run will have. The adaptive
+	// controller is fed from the reporter's snapshots, so enabling it
+	// implies observing.
+	observing := q.obsAddr != "" || q.obsInto != nil || q.traceEvery > 0 || controllerOn
 	var ins *obs.Instruments
 	if observing {
 		ins = q.obsInto
@@ -786,6 +820,34 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 		if q.ckptMetrics != nil {
 			ins.SetCheckpointMetrics(q.ckptMetrics)
 		}
+	}
+
+	// The controller's cells are created before the manager factory runs
+	// so each worker's Config carries its mailbox; every cell starts at
+	// the configured budget.
+	var ctrl *control.Controller
+	if controllerOn {
+		q.controlCells = make([]*control.Cell, q.parallelism)
+		for i := range q.controlCells {
+			q.controlCells[i] = control.NewCell(q.budgetTuples)
+		}
+		ccfg := control.Config{SLO: q.latencySLO}
+		if aimd, ok := q.budgetPolicy.(*core.AIMDBudget); ok {
+			// AdaptiveBudget's bounds double as the controller's; the
+			// per-window AIMD policy itself is ignored while a cell is
+			// attached (one budget owner at a time).
+			ccfg.Min, ccfg.Max = aimd.Min, aimd.Max
+		} else {
+			ccfg.Min = q.budgetTuples / 16
+			if ccfg.Min < 1 {
+				ccfg.Min = 1
+			}
+			ccfg.Max = q.budgetTuples
+		}
+		ctrl = control.New(ccfg, q.controlCells)
+		ins.SetController(ctrl)
+	} else {
+		q.controlCells = nil
 	}
 
 	factory := q.managerFactory(plane, reg, ckptEnabled)
@@ -854,6 +916,9 @@ func (q *Query) Run(sink func(worker int, r Result)) (Summary, error) {
 	// (server first, then reporter — LIFO defers).
 	if ins != nil {
 		rep := obs.NewReporter(ins, q.obsEvery)
+		if ctrl != nil {
+			rep.OnSnapshot(ctrl.Observe)
+		}
 		rep.Start()
 		defer rep.Stop()
 		if q.obsAddr != "" {
